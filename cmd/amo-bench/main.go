@@ -1,0 +1,80 @@
+// Command amo-bench runs the reproduction experiment suite E1–E8 (one
+// experiment per theorem of Kentros & Kiayias 2011/2013; see DESIGN.md §4)
+// and prints the result tables as Markdown. EXPERIMENTS.md is generated
+// from this output.
+//
+// Usage:
+//
+//	amo-bench [-quick] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"atmostonce/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "amo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("amo-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run reduced sweeps")
+	only := fs.String("only", "", "run a single experiment (E1..E8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := harness.Suite{Quick: *quick}
+	experiments := map[string]func() *harness.Table{
+		"E1": s.E1Effectiveness,
+		"E2": s.E2Bounds,
+		"E3": s.E3Work,
+		"E4": s.E4Collisions,
+		"E5": s.E5Iterative,
+		"E6": s.E6WriteAll,
+		"E7": s.E7Comparison,
+		"E8": s.E8Crossover,
+		"E9": s.E9Verification,
+	}
+
+	fmt.Printf("# At-most-once reproduction suite (%s mode)\n\n", mode(*quick))
+	start := time.Now()
+	var tables []*harness.Table
+	if *only != "" {
+		fn, ok := experiments[strings.ToUpper(*only)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want E1..E8)", *only)
+		}
+		tables = append(tables, fn())
+	} else {
+		tables = s.All()
+	}
+	failed := 0
+	for _, t := range tables {
+		fmt.Print(t.Markdown())
+		if !t.Pass {
+			failed++
+		}
+	}
+	fmt.Printf("---\n\nSuite finished in %s; %d/%d experiments passed.\n",
+		time.Since(start).Round(time.Millisecond), len(tables)-failed, len(tables))
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}
+
+func mode(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
+}

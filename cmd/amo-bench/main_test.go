@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunQuickSingle(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E42"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunLowercaseID(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "e9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if mode(true) != "quick" || mode(false) != "full" {
+		t.Fatal("mode strings wrong")
+	}
+}

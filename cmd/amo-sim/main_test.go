@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTightness(t *testing.T) {
+	if err := run([]string{"-n", "256", "-m", "4", "-adversary", "tightness"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIterative(t *testing.T) {
+	args := []string{"-n", "512", "-m", "2", "-iterative", "-adversary", "random", "-seed", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCollisions(t *testing.T) {
+	if err := run([]string{"-n", "128", "-m", "4", "-beta", "48", "-adversary", "staircase", "-collisions"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	if err := run([]string{"-n", "512", "-m", "4", "-conc"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownAdversary(t *testing.T) {
+	if err := run([]string{"-adversary", "nope"}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

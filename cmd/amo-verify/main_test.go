@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIterStep(t *testing.T) {
+	if err := run([]string{"-n", "2", "-m", "2", "-f", "1", "-iterstep"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBudgetExceeded(t *testing.T) {
+	if err := run([]string{"-n", "4", "-m", "2", "-f", "1", "-max-states", "5"}); err == nil {
+		t.Fatal("state budget not enforced")
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full battery is slow")
+	}
+	if err := run([]string{"-suite"}); err != nil {
+		t.Fatal(err)
+	}
+}

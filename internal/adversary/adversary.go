@@ -1,0 +1,112 @@
+// Package adversary implements KKβ-specific adversarial strategies from
+// the paper's analysis: the Theorem 4.4 strategy that pins the
+// effectiveness of KKβ to exactly n−(β+m−2), and staleness-maximizing
+// schedules used to stress the collision accounting of Section 5.
+package adversary
+
+import (
+	"atmostonce/internal/core"
+	"atmostonce/internal/sim"
+)
+
+// Tightness is the adversarial strategy from the proof of Theorem 4.4:
+// let each of processes 1..m−1 announce a job (compNext + setNext) and
+// crash it immediately after, so that m−1 distinct jobs are stuck in the
+// next array forever (the STUCK set, with Jα ∩ STUCKα = ∅). Then run
+// process m alone: every stuck job stays in TRY_m, so m terminates as
+// soon as |FREE\TRY| < β, having performed exactly n−(β+m−2) jobs.
+//
+// The world must allow f = m−1 crashes.
+type Tightness struct {
+	victim int // victims processed so far (victims are pids 1..m-1)
+}
+
+var _ sim.Adversary = (*Tightness)(nil)
+
+// Next implements sim.Adversary.
+func (a *Tightness) Next(w *sim.World) sim.Decision {
+	m := len(w.Procs)
+	for a.victim < m-1 {
+		pid := a.victim + 1
+		p, ok := w.Procs[pid-1].(*core.Proc)
+		if !ok || p.Status() != sim.Running {
+			a.victim++
+			continue
+		}
+		// Fresh process: comp_next → set_next → (announced) gather_try.
+		if p.Phase() == core.PhaseGatherTry {
+			a.victim++
+			return sim.CrashOf(pid)
+		}
+		return sim.StepOf(pid)
+	}
+	return sim.StepOf(m)
+}
+
+// Staircase maximizes the staleness of low-id processes' FREE estimates:
+// it repeatedly lets the highest-id live process perform one complete job
+// before giving anyone else a step, then rotates. Stale FREE views cause
+// rank() to land on already-taken jobs, which drives up Definition 5.2
+// collisions — the workload for the Lemma 5.5 bound check.
+type Staircase struct {
+	cur    int // pid currently being driven (0 = pick new)
+	target int // Performed() count at which cur yields
+}
+
+var _ sim.Adversary = (*Staircase)(nil)
+
+// Next implements sim.Adversary.
+func (a *Staircase) Next(w *sim.World) sim.Decision {
+	if a.cur != 0 {
+		p := w.Procs[a.cur-1]
+		if p.Status() == sim.Running {
+			kp, ok := p.(*core.Proc)
+			if !ok || kp.Performed() < a.target {
+				return sim.StepOf(a.cur)
+			}
+		}
+		a.cur = 0
+	}
+	// Pick the highest-id live process and drive it through one more job.
+	for pid := len(w.Procs); pid >= 1; pid-- {
+		p := w.Procs[pid-1]
+		if p.Status() != sim.Running {
+			continue
+		}
+		a.cur = pid
+		if kp, ok := p.(*core.Proc); ok {
+			a.target = kp.Performed() + 1
+		}
+		return sim.StepOf(pid)
+	}
+	// Engine guarantees at least one live process when Next is called.
+	return sim.StepOf(1)
+}
+
+// Alternator interleaves processes at the finest grain but delays each
+// process's gather phases so announcements overlap: all processes are
+// stepped once per round in descending id order. Descending order makes
+// low-id processes read announcements that high-id processes are about to
+// overwrite, another collision-friendly pattern.
+type Alternator struct {
+	round []int
+}
+
+var _ sim.Adversary = (*Alternator)(nil)
+
+// Next implements sim.Adversary.
+func (a *Alternator) Next(w *sim.World) sim.Decision {
+	if len(a.round) == 0 {
+		for pid := len(w.Procs); pid >= 1; pid-- {
+			a.round = append(a.round, pid)
+		}
+	}
+	for len(a.round) > 0 {
+		pid := a.round[0]
+		a.round = a.round[1:]
+		if w.Procs[pid-1].Status() == sim.Running {
+			return sim.StepOf(pid)
+		}
+	}
+	return a.Next(w)
+}

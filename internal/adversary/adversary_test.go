@@ -1,0 +1,118 @@
+package adversary
+
+import (
+	"testing"
+
+	"atmostonce/internal/core"
+	"atmostonce/internal/sim"
+)
+
+const stepLimit = 50_000_000
+
+// TestTightnessExact reproduces Theorem 4.4's matching adversarial
+// strategy: the execution completes exactly n−(β+m−2) jobs — not one more,
+// not one less.
+func TestTightnessExact(t *testing.T) {
+	tests := []struct {
+		n, m, beta int
+	}{
+		{50, 2, 0}, {50, 4, 0}, {100, 8, 0}, {200, 16, 0},
+		{100, 4, 48},  // β = 3m²
+		{1000, 5, 75}, // β = 3m²
+	}
+	for _, tt := range tests {
+		s, err := core.NewSystem(core.Config{N: tt.n, M: tt.m, Beta: tt.beta, F: tt.m - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(&Tightness{}, stepLimit)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tt.n, tt.m, err)
+		}
+		want := core.EffectivenessBound(tt.n, tt.m, tt.beta)
+		if rep.Distinct != want {
+			t.Errorf("n=%d m=%d β=%d: Do = %d, want exactly %d",
+				tt.n, tt.m, tt.beta, rep.Distinct, want)
+		}
+		if rep.Duplicates != 0 {
+			t.Errorf("n=%d m=%d: AMO violated", tt.n, tt.m)
+		}
+		if rep.Result.Crashes != tt.m-1 {
+			t.Errorf("n=%d m=%d: crashes = %d, want m-1", tt.n, tt.m, rep.Result.Crashes)
+		}
+	}
+}
+
+// TestTightnessIsWorstCase cross-checks Theorem 2.1: the tightness
+// execution's Do is also ≤ n − f with f = m−1.
+func TestTightnessIsWorstCase(t *testing.T) {
+	const n, m = 60, 4
+	s, err := core.NewSystem(core.Config{N: n, M: m, F: m - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(&Tightness{}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distinct > core.UpperBound(n, m-1) {
+		t.Fatalf("Do = %d exceeds n-f = %d", rep.Distinct, core.UpperBound(n, m-1))
+	}
+}
+
+func TestStaircaseSafeAndTerminates(t *testing.T) {
+	s, err := core.NewSystem(core.Config{N: 120, M: 4, Beta: 48, TrackCollisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(&Staircase{}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatal("AMO violated under staircase schedule")
+	}
+	if rep.Distinct < core.EffectivenessBound(120, 4, 48) {
+		t.Fatalf("Do = %d below bound", rep.Distinct)
+	}
+}
+
+func TestAlternatorSafeAndTerminates(t *testing.T) {
+	s, err := core.NewSystem(core.Config{N: 100, M: 5, TrackCollisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(&Alternator{}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatal("AMO violated under alternator schedule")
+	}
+}
+
+// TestCollisionBoundLemma55 checks Lemma 5.5's pairwise collision bound
+// 2⌈n/(m|q−p|)⌉ for β ≥ 3m² under collision-maximizing schedules.
+func TestCollisionBoundLemma55(t *testing.T) {
+	const n, m = 300, 4
+	beta := 3 * m * m
+	for _, adv := range []sim.Adversary{&Staircase{}, &Alternator{}, sim.NewRandom(7)} {
+		s, err := core.NewSystem(core.Config{N: n, M: m, Beta: beta, TrackCollisions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(adv, stepLimit); err != nil {
+			t.Fatal(err)
+		}
+		for p := 1; p <= m; p++ {
+			for q := 1; q <= m; q++ {
+				if p == q {
+					continue
+				}
+				if got, bound := s.Collisions.Count(p, q), core.PairBound(n, m, p, q); got > bound {
+					t.Errorf("%T: collisions(%d,%d) = %d > bound %d", adv, p, q, got, bound)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"atmostonce/internal/core"
+	"atmostonce/internal/sim"
+)
+
+// RandomStuck is a randomized generalization of the Theorem 4.4 strategy,
+// used to probe whether ANY crash-timing pattern can push KKβ below its
+// effectiveness bound (none can — Lemma 4.2): a random subset of victims
+// each runs until it has announced a random number of jobs (performing
+// the earlier ones), crashes right after the announcement, and the
+// survivors then run under a random schedule.
+//
+// Crashing immediately after setNext is the worst possible moment — the
+// announced job is stuck in every survivor's TRY set forever — so
+// sweeping seeds explores the adversary subspace the paper's lower-bound
+// argument identifies as extremal.
+type RandomStuck struct {
+	// Rng drives victim selection and crash timing.
+	Rng *rand.Rand
+	// MaxAnnounces bounds how many announce cycles a victim survives
+	// before its fatal one (0 = up to 3).
+	MaxAnnounces int
+
+	initialized bool
+	plan        map[int]int // pid -> announce count at which to crash
+	order       []int       // victims in attack order
+	idx         int
+	counts      map[int]int // announcements observed so far per victim
+	after       sim.Adversary
+}
+
+var _ sim.Adversary = (*RandomStuck)(nil)
+
+// NewRandomStuck returns a seeded RandomStuck adversary.
+func NewRandomStuck(seed int64) *RandomStuck {
+	return &RandomStuck{Rng: rand.New(rand.NewSource(seed))}
+}
+
+func (a *RandomStuck) init(w *sim.World) {
+	m := len(w.Procs)
+	maxA := a.MaxAnnounces
+	if maxA <= 0 {
+		maxA = 3
+	}
+	victims := a.Rng.Perm(m)
+	nVictims := a.Rng.Intn(m) // 0..m-1, respecting f < m
+	if nVictims > w.MaxCrashes {
+		nVictims = w.MaxCrashes
+	}
+	a.plan = make(map[int]int, nVictims)
+	a.counts = make(map[int]int, nVictims)
+	for _, v := range victims[:nVictims] {
+		a.plan[v+1] = a.Rng.Intn(maxA) + 1
+		a.order = append(a.order, v+1)
+	}
+	a.after = &sim.Random{Rng: a.Rng}
+	a.initialized = true
+}
+
+// Next implements sim.Adversary.
+func (a *RandomStuck) Next(w *sim.World) sim.Decision {
+	if !a.initialized {
+		a.init(w)
+	}
+	// Phase 1: drive each victim to its fatal announcement, one by one.
+	for a.idx < len(a.order) {
+		pid := a.order[a.idx]
+		p, ok := w.Procs[pid-1].(*core.Proc)
+		if !ok || p.Status() != sim.Running {
+			a.idx++
+			continue
+		}
+		// Crash immediately after the victim's plan[pid]-th announcement
+		// (its setNext counter just reached the planned value).
+		if p.Announced() > a.counts[pid] {
+			a.counts[pid] = p.Announced()
+			if a.counts[pid] >= a.plan[pid] {
+				a.idx++
+				return sim.CrashOf(pid)
+			}
+		}
+		return sim.StepOf(pid)
+	}
+	// Phase 2: random schedule over the survivors.
+	return a.after.Next(w)
+}

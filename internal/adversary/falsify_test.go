@@ -1,0 +1,81 @@
+package adversary
+
+import (
+	"testing"
+
+	"atmostonce/internal/core"
+)
+
+// TestFalsificationSearch sweeps hundreds of randomized stuck-job attack
+// plans trying to push KKβ BELOW its Theorem 4.4 effectiveness bound.
+// Lemma 4.2 says no adversary can; every attempt must fail. A single
+// success would be a counterexample to the paper.
+func TestFalsificationSearch(t *testing.T) {
+	configs := []struct {
+		n, m, beta int
+	}{
+		{100, 3, 0}, {100, 5, 0}, {200, 4, 48},
+	}
+	seeds := int64(100)
+	if testing.Short() {
+		seeds = 20
+	}
+	for _, cfg := range configs {
+		bound := core.EffectivenessBound(cfg.n, cfg.m, cfg.beta)
+		minDo := cfg.n + 1
+		for seed := int64(0); seed < seeds; seed++ {
+			s, err := core.NewSystem(core.Config{N: cfg.n, M: cfg.m, Beta: cfg.beta, F: cfg.m - 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.Run(NewRandomStuck(seed), stepLimit)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if rep.Duplicates != 0 {
+				t.Fatalf("seed %d: AMO violated", seed)
+			}
+			if rep.Distinct < bound {
+				t.Fatalf("COUNTEREXAMPLE to Theorem 4.4: n=%d m=%d β=%d seed=%d Do=%d < %d",
+					cfg.n, cfg.m, cfg.beta, seed, rep.Distinct, bound)
+			}
+			if rep.Distinct < minDo {
+				minDo = rep.Distinct
+			}
+		}
+		t.Logf("n=%d m=%d β=%d: min Do over %d attack plans = %d (bound %d)",
+			cfg.n, cfg.m, cfg.beta, seeds, minDo, bound)
+	}
+}
+
+// TestRandomStuckReachesTheBound: among the randomized plans there are
+// ones as strong as the deterministic tightness strategy (crash every
+// victim at its first announcement) — the search space includes the
+// extremal point.
+func TestRandomStuckReachesTheBound(t *testing.T) {
+	const n, m = 100, 4
+	bound := core.EffectivenessBound(n, m, 0)
+	best := n + 1
+	for seed := int64(0); seed < 300; seed++ {
+		s, err := core.NewSystem(core.Config{N: n, M: m, F: m - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := NewRandomStuck(seed)
+		adv.MaxAnnounces = 1 // always fatal first announcement
+		rep, err := s.Run(adv, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Distinct < best {
+			best = rep.Distinct
+		}
+	}
+	// With MaxAnnounces=1 and some seed killing all m−1 victims, the run
+	// should get close to the bound (within the jobs the victims
+	// completed before their single announcement — none).
+	if best > bound+2*m {
+		t.Fatalf("randomized search never approached the bound: best %d vs bound %d", best, bound)
+	}
+	t.Logf("best randomized attack: Do = %d (deterministic bound %d)", best, bound)
+}

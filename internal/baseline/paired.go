@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"fmt"
+
+	"atmostonce/internal/shmem"
+	"atmostonce/internal/sim"
+)
+
+// NewPairedSystem lifts the two-process algorithm to m processes by
+// pairing: processes (2i−1, 2i) share slice i of the job range via
+// TwoProc; with odd m the last process owns its slice alone (TrivialProc).
+// A slice survives unless both of its owners crash, so the worst-case
+// effectiveness is n − ⌊f/2⌋·(2n/m) − O(f) — strictly better than Trivial
+// for f < m−1 but still multiplicative, unlike KKβ's additive n−2m+2.
+func NewPairedSystem(n, m, f int) (*sim.World, error) {
+	if m < 1 || n < m {
+		return nil, fmt.Errorf("baseline: invalid n=%d m=%d", n, m)
+	}
+	pairs := m / 2
+	solo := m%2 == 1
+	mem := shmem.NewSim(2 * pairs)
+	var (
+		procs []sim.Process
+		twos  []*TwoProc
+		trivs []*TrivialProc
+	)
+	slices := pairs
+	if solo {
+		slices++
+	}
+	for i := 0; i < pairs; i++ {
+		lo := i*n/slices + 1
+		hi := (i + 1) * n / slices
+		l, r := NewTwoProcPair(mem, 2*i, lo, hi, 2*i+1, 2*i+2)
+		twos = append(twos, l, r)
+		procs = append(procs, l, r)
+	}
+	if solo {
+		lo := pairs*n/slices + 1
+		tp := &TrivialProc{id: m, next: lo, hi: n, status: sim.Running}
+		trivs = append(trivs, tp)
+		procs = append(procs, tp)
+	}
+	w := sim.NewWorld(procs, mem, f)
+	for _, p := range twos {
+		p.sink = w
+	}
+	for _, p := range trivs {
+		p.sink = w
+	}
+	return w, nil
+}

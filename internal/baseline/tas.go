@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"fmt"
+
+	"atmostonce/internal/shmem"
+	"atmostonce/internal/sim"
+)
+
+// TASProc implements the §1 remark: "one can associate a test-and-set bit
+// with each job, ensuring that the job is assigned to the only process
+// that successfully sets the shared bit." Each process sweeps the job
+// array; one TAS per job, performing those it wins. Effectiveness is the
+// optimal n−f (a job is lost only when its winner crashes between the TAS
+// and the do), but the primitive is a read-modify-write — exactly what
+// the paper's model rules out — so this is a reference line, not a
+// competitor.
+type TASProc struct {
+	id     int
+	n      int
+	cur    int // job whose bit is probed next
+	won    int // job won and not yet performed (0 = none)
+	mem    *shmem.SimMem
+	status sim.Status
+	sink   DoSink
+	work   uint64
+}
+
+var _ sim.Process = (*TASProc)(nil)
+
+// NewTASSystem builds the test-and-set claiming algorithm over n jobs and
+// m processes. Register j−1 is job j's claim bit.
+func NewTASSystem(n, m, f int) (*sim.World, error) {
+	if m < 1 || n < m {
+		return nil, fmt.Errorf("baseline: invalid n=%d m=%d", n, m)
+	}
+	mem := shmem.NewSim(n)
+	procs := make([]sim.Process, m)
+	tps := make([]*TASProc, m)
+	for i := 0; i < m; i++ {
+		tps[i] = &TASProc{id: i + 1, n: n, cur: 1, mem: mem, status: sim.Running}
+		procs[i] = tps[i]
+	}
+	w := sim.NewWorld(procs, mem, f)
+	for _, p := range tps {
+		p.sink = w
+	}
+	return w, nil
+}
+
+// ID implements sim.Process.
+func (p *TASProc) ID() int { return p.id }
+
+// Status implements sim.Process.
+func (p *TASProc) Status() sim.Status { return p.status }
+
+// Crash implements sim.Process.
+func (p *TASProc) Crash() { p.status = sim.Crashed }
+
+// Work implements sim.Worker.
+func (p *TASProc) Work() uint64 { return p.work }
+
+// Step probes one claim bit or performs a won job.
+func (p *TASProc) Step() {
+	if p.won != 0 {
+		p.sink.RecordDo(p.id, int64(p.won))
+		p.work++
+		p.won = 0
+		return
+	}
+	if p.cur > p.n {
+		p.status = sim.Done
+		return
+	}
+	if p.mem.TestAndSet(p.cur-1) == 0 {
+		p.won = p.cur
+	}
+	p.work++
+	p.cur++
+}

@@ -1,0 +1,206 @@
+// Package conc runs the paper's algorithms under true concurrency: one
+// goroutine per process over sync/atomic registers, with no locks or
+// read-modify-write operations on the algorithm path. Because every Step
+// of a core.Proc performs at most one shared register access, the
+// goroutine executions are exactly the linearizable executions of the
+// paper's model (§2.1), now scheduled by the Go runtime and the hardware
+// instead of a simulated adversary.
+//
+// The runtime validates the at-most-once property post-hoc from
+// per-process event logs and supports deterministic crash injection
+// (a goroutine stops stepping after a configured number of actions).
+package conc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"atmostonce/internal/core"
+	"atmostonce/internal/shmem"
+	"atmostonce/internal/sim"
+)
+
+// Options configures a concurrent run.
+type Options struct {
+	// N is the number of jobs, M the number of processes (goroutines).
+	N, M int
+	// Beta is KKβ's termination parameter (0 = m).
+	Beta int
+	// Iterative selects IterativeKK(ε) instead of plain KKβ.
+	Iterative bool
+	// EpsDenom is 1/ε for the iterative algorithm (0 = 1).
+	EpsDenom int
+	// WriteAll selects WA_IterativeKK(ε) (implies Iterative).
+	WriteAll bool
+	// CrashAfter, when non-nil, gives per-process step counts after which
+	// the goroutine stops stepping (simulated crash). 0 = never. At least
+	// one process must never crash.
+	CrashAfter []uint64
+	// Jitter injects random runtime.Gosched calls to diversify
+	// interleavings; Seed makes the injection deterministic per process.
+	Jitter bool
+	Seed   int64
+	// DoFn, when non-nil, is the job payload, invoked once per performed
+	// job with the performing process id.
+	DoFn func(pid int, job int64)
+}
+
+// Result summarizes a concurrent run.
+type Result struct {
+	// Events holds every do event, grouped by process.
+	Events []sim.Event
+	// Distinct is the number of distinct jobs performed.
+	Distinct int
+	// Duplicates counts do events beyond the first per job; nonzero means
+	// an at-most-once violation.
+	Duplicates int
+	// Crashed is the number of processes that crashed.
+	Crashed int
+	// Steps is the total number of actions taken by all goroutines.
+	Steps uint64
+}
+
+// errValidate gathers option errors.
+var errValidate = errors.New("conc: invalid options")
+
+func (o *Options) normalize() error {
+	if o.M < 1 || o.N < o.M {
+		return fmt.Errorf("%w: n=%d m=%d", errValidate, o.N, o.M)
+	}
+	if o.CrashAfter != nil && len(o.CrashAfter) != o.M {
+		return fmt.Errorf("%w: CrashAfter has %d entries for m=%d", errValidate, len(o.CrashAfter), o.M)
+	}
+	if o.CrashAfter != nil {
+		alive := 0
+		for _, c := range o.CrashAfter {
+			if c == 0 {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return fmt.Errorf("%w: all processes crash (need f < m)", errValidate)
+		}
+	}
+	if o.WriteAll {
+		o.Iterative = true
+	}
+	if o.EpsDenom <= 0 {
+		o.EpsDenom = 1
+	}
+	return nil
+}
+
+// eventLog is a per-goroutine DoSink; no synchronization needed because
+// each process owns its log.
+type eventLog struct {
+	pid    int
+	events []sim.Event
+}
+
+func (l *eventLog) RecordDo(pid int, job int64) {
+	l.events = append(l.events, sim.Event{PID: pid, Job: job})
+}
+
+// Run executes the configured algorithm concurrently and returns the
+// merged, validated result.
+func Run(o Options) (*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	procs, logs, err := buildProcs(o)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		wg    sync.WaitGroup
+		steps = make([]uint64, o.M)
+	)
+	crashed := 0
+	for i := 0; i < o.M; i++ {
+		var crashAt uint64
+		if o.CrashAfter != nil {
+			crashAt = o.CrashAfter[i]
+		}
+		if crashAt > 0 {
+			crashed++
+		}
+		wg.Add(1)
+		go func(idx int, p sim.Process, crashAt uint64) {
+			defer wg.Done()
+			var rng *rand.Rand
+			if o.Jitter {
+				rng = rand.New(rand.NewSource(o.Seed + int64(idx)))
+			}
+			for p.Status() == sim.Running {
+				if crashAt > 0 && steps[idx] >= crashAt {
+					p.Crash()
+					return
+				}
+				p.Step()
+				steps[idx]++
+				if rng != nil && rng.Intn(8) == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(i, procs[i], crashAt)
+	}
+	wg.Wait()
+
+	res := &Result{Crashed: crashed}
+	seen := make(map[int64]int, o.N)
+	for i, l := range logs {
+		res.Events = append(res.Events, l.events...)
+		res.Steps += steps[i]
+		for _, e := range l.events {
+			seen[e.Job]++
+			if seen[e.Job] > 1 {
+				res.Duplicates++
+			}
+		}
+	}
+	res.Distinct = len(seen)
+	return res, nil
+}
+
+func buildProcs(o Options) ([]sim.Process, []*eventLog, error) {
+	procs := make([]sim.Process, o.M)
+	logs := make([]*eventLog, o.M)
+	if o.Iterative {
+		cfg := core.IterConfig{N: o.N, M: o.M, EpsDenom: o.EpsDenom, WriteAll: o.WriteAll, Beta: o.Beta}
+		cfg, levels, size, err := core.PlanLevels(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		iters := core.NewIterProcsOn(cfg, levels, shmem.NewAtomic(size))
+		for i, ip := range iters {
+			logs[i] = &eventLog{pid: i + 1}
+			ip.SetSink(logs[i])
+			if o.DoFn != nil {
+				pid := i + 1
+				fn := o.DoFn
+				ip.SetDoFn(func(job int64) { fn(pid, job) })
+			}
+			procs[i] = ip
+		}
+		return procs, logs, nil
+	}
+	lay := core.Layout{M: o.M, RowLen: o.N}
+	mem := shmem.NewAtomic(lay.Size())
+	for i := 0; i < o.M; i++ {
+		logs[i] = &eventLog{pid: i + 1}
+		opts := core.ProcOptions{
+			ID: i + 1, M: o.M, Beta: o.Beta, Layout: lay, Mem: mem,
+			Universe: o.N, Sink: logs[i],
+		}
+		if o.DoFn != nil {
+			pid := i + 1
+			fn := o.DoFn
+			opts.DoFn = func(job int64) { fn(pid, job) }
+		}
+		procs[i] = core.NewProc(opts)
+	}
+	return procs, logs, nil
+}

@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: algorithm KKβ
+// (Kentros & Kiayias, Figures 1–2), its IterStepKK variant with a shared
+// termination flag (§6), and the iterated algorithm IterativeKK(ε)
+// (Figure 3) built on top of them.
+//
+// Every process is a state machine that performs exactly one I/O-automaton
+// action per Step call, so it can be driven both by the deterministic
+// adversarial scheduler (internal/sim) and by a goroutine loop over atomic
+// registers (internal/conc).
+package core
+
+import "fmt"
+
+// Phase is the STATUS_p internal variable of Figure 1, extended with the
+// two extra statuses IterStepKK needs for its termination-flag handling.
+type Phase int
+
+// Process phases. The first eight mirror Figure 1's
+// {comp_next, set_next, gather_try, gather_done, check, do, done, end,
+// stop}; PhaseCheckFlag and PhaseTermFlag implement §6's IterStepKK
+// modifications (read the flag before performing, write the flag before
+// terminating).
+const (
+	PhaseCompNext Phase = iota + 1
+	PhaseSetNext
+	PhaseGatherTry
+	PhaseGatherDone
+	PhaseCheck
+	PhaseCheckFlag
+	PhaseDo
+	PhaseDoneWrite
+	PhaseTermFlag
+	PhaseEnd
+	PhaseStop
+)
+
+// String implements fmt.Stringer.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseCompNext:
+		return "comp_next"
+	case PhaseSetNext:
+		return "set_next"
+	case PhaseGatherTry:
+		return "gather_try"
+	case PhaseGatherDone:
+		return "gather_done"
+	case PhaseCheck:
+		return "check"
+	case PhaseCheckFlag:
+		return "check_flag"
+	case PhaseDo:
+		return "do"
+	case PhaseDoneWrite:
+		return "done"
+	case PhaseTermFlag:
+		return "term_flag"
+	case PhaseEnd:
+		return "end"
+	case PhaseStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(ph))
+	}
+}
+
+// Layout maps the algorithm's shared variables onto a flat register file:
+// the next array (m cells), the done matrix (m rows of RowLen cells) and,
+// for IterStepKK, one termination-flag cell. Base allows several instances
+// (IterativeKK levels) to share one memory.
+type Layout struct {
+	Base    int
+	M       int
+	RowLen  int
+	HasFlag bool
+}
+
+// NextAddr returns the address of next_q (q is 1-based).
+func (l Layout) NextAddr(q int) int { return l.Base + q - 1 }
+
+// DoneAddr returns the address of done_{q,idx} (q, idx are 1-based).
+func (l Layout) DoneAddr(q, idx int) int {
+	return l.Base + l.M + (q-1)*l.RowLen + idx - 1
+}
+
+// FlagAddr returns the address of the IterStepKK termination flag.
+func (l Layout) FlagAddr() int { return l.Base + l.M + l.M*l.RowLen }
+
+// Size returns the number of registers the instance occupies.
+func (l Layout) Size() int {
+	s := l.M + l.M*l.RowLen
+	if l.HasFlag {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package core
+
+// CollisionMatrix counts collision events per ordered process pair:
+// Record(p, q) means "p collided with q" in the sense of Definition 5.2
+// (p abandoned its announced job after observing q announcing or
+// completing it). Lemma 5.5 bounds each entry by 2⌈n/(m·|q−p|)⌉ when
+// β ≥ 3m².
+type CollisionMatrix struct {
+	m      int
+	counts []uint64
+}
+
+// NewCollisionMatrix returns a matrix for processes 1..m.
+func NewCollisionMatrix(m int) *CollisionMatrix {
+	return &CollisionMatrix{m: m, counts: make([]uint64, m*m)}
+}
+
+// Record adds one collision of detector p with culprit q.
+func (c *CollisionMatrix) Record(p, q int) {
+	c.counts[(p-1)*c.m+(q-1)]++
+}
+
+// Count returns the number of times p collided with q.
+func (c *CollisionMatrix) Count(p, q int) uint64 {
+	return c.counts[(p-1)*c.m+(q-1)]
+}
+
+// Total returns the total number of collisions recorded.
+func (c *CollisionMatrix) Total() uint64 {
+	var t uint64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// M returns the number of processes the matrix covers.
+func (c *CollisionMatrix) M() int { return c.m }
+
+// PairBound returns Lemma 5.5's bound 2⌈n/(m·|q−p|)⌉ for a pair p ≠ q.
+func PairBound(n, m, p, q int) uint64 {
+	d := p - q
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	den := m * d
+	return uint64(2 * ((n + den - 1) / den))
+}

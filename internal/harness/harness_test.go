@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "demo", Claim: "none",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+		Pass:   true,
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### EX — demo", "| a | b |", "| 1 | 2 |", "PASS", "> note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	tab.Pass = false
+	if !strings.Contains(tab.Markdown(), "FAIL") {
+		t.Error("FAIL marker missing")
+	}
+}
+
+func TestQuickSuiteAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite is slow")
+	}
+	s := Suite{Quick: true}
+	for _, tab := range s.All() {
+		if !tab.Pass {
+			t.Errorf("%s failed:\n%s", tab.ID, tab.Markdown())
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if lg(1) != 1 || lg(2) != 1 || lg(3) != 2 || lg(1024) != 10 {
+		t.Error("lg wrong")
+	}
+	if mark(true) != "✓" || mark(false) != "✗" {
+		t.Error("mark wrong")
+	}
+	if itoa(5) != "5" || utoa(7) != "7" || ftoa(1.5) != "1.500" {
+		t.Error("format helpers wrong")
+	}
+}
+
+// TestExperimentSchemas pins each experiment's identity and table shape so
+// EXPERIMENTS.md regeneration stays stable.
+func TestExperimentSchemas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	s := Suite{Quick: true}
+	tables := s.All()
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("suite has %d experiments, want %d", len(tables), len(wantIDs))
+	}
+	for i, tab := range tables {
+		if tab.ID != wantIDs[i] {
+			t.Errorf("experiment %d id = %s, want %s", i, tab.ID, wantIDs[i])
+		}
+		if tab.Title == "" || tab.Claim == "" {
+			t.Errorf("%s missing title/claim", tab.ID)
+		}
+		if len(tab.Header) < 3 {
+			t.Errorf("%s header too small: %v", tab.ID, tab.Header)
+		}
+		for j, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s row %d has %d cells for %d columns", tab.ID, j, len(row), len(tab.Header))
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package harness defines the reproduction experiments E1–E8 (see
+// DESIGN.md §4): one experiment per theorem of the paper, each producing
+// a table that pairs the paper's predicted value or asymptotic shape with
+// the measured one. cmd/amo-bench renders the full suite to Markdown;
+// bench_test.go exposes each experiment as a testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	// ID is the experiment identifier (E1..E8).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the reproduced statement of the paper.
+	Claim string
+	// Header and Rows hold the tabular data.
+	Header []string
+	Rows   [][]string
+	// Notes are appended after the table.
+	Notes []string
+	// Pass is false if any measured value contradicted the claim.
+	Pass bool
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Claim (%s).*\n\n", t.Claim)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	b.WriteString("\n")
+	if t.Pass {
+		b.WriteString("**Result: PASS** — measurements match the claim.\n")
+	} else {
+		b.WriteString("**Result: FAIL** — at least one measurement contradicts the claim.\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Suite runs experiments. Quick mode shrinks sweeps for benchmarks.
+type Suite struct {
+	Quick bool
+}
+
+// All runs every experiment in order.
+func (s Suite) All() []*Table {
+	return []*Table{
+		s.E1Effectiveness(),
+		s.E2Bounds(),
+		s.E3Work(),
+		s.E4Collisions(),
+		s.E5Iterative(),
+		s.E6WriteAll(),
+		s.E7Comparison(),
+		s.E8Crossover(),
+		s.E9Verification(),
+	}
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func utoa(v uint64) string  { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.3f", v) }
+func mark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}
+
+// lg is ceil(log2(v)), min 1 — the paper's log factors.
+func lg(v int) int {
+	r, p := 0, 1
+	for p < v {
+		p <<= 1
+		r++
+	}
+	if r < 1 {
+		return 1
+	}
+	return r
+}

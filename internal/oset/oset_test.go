@@ -1,0 +1,394 @@
+package oset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// validate checks the binary-search-tree property, subtree size counters,
+// and the red-black invariants. It returns the black-height.
+func validate(t *testing.T, s *Set) int {
+	t.Helper()
+	if s.nil_.color != black {
+		t.Fatalf("sentinel is red")
+	}
+	if s.root.color != black {
+		t.Fatalf("root is red")
+	}
+	var check func(x *node, lo, hi int) int
+	check = func(x *node, lo, hi int) int {
+		if x == s.nil_ {
+			return 1
+		}
+		if x.key < lo || x.key > hi {
+			t.Fatalf("BST violation: key %d outside (%d,%d)", x.key, lo, hi)
+		}
+		if x.color == red && (x.left.color == red || x.right.color == red) {
+			t.Fatalf("red-red violation at key %d", x.key)
+		}
+		if x.left != s.nil_ && x.left.parent != x {
+			t.Fatalf("broken parent pointer below key %d", x.key)
+		}
+		if x.right != s.nil_ && x.right.parent != x {
+			t.Fatalf("broken parent pointer below key %d", x.key)
+		}
+		bl := check(x.left, lo, x.key-1)
+		br := check(x.right, x.key+1, hi)
+		if bl != br {
+			t.Fatalf("black-height mismatch at key %d: %d vs %d", x.key, bl, br)
+		}
+		if want := x.left.size + x.right.size + 1; x.size != want {
+			t.Fatalf("size mismatch at key %d: have %d want %d", x.key, x.size, want)
+		}
+		if x.color == black {
+			return bl + 1
+		}
+		return bl
+	}
+	return check(s.root, -1<<62, 1<<62)
+}
+
+func TestEmpty(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if s.Contains(1) {
+		t.Fatal("empty set contains 1")
+	}
+	if _, ok := s.Select(1); ok {
+		t.Fatal("Select on empty set succeeded")
+	}
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min on empty set succeeded")
+	}
+	if _, ok := s.Max(); ok {
+		t.Fatal("Max on empty set succeeded")
+	}
+	if s.Delete(1) {
+		t.Fatal("Delete on empty set reported true")
+	}
+	validate(t, s)
+}
+
+func TestInsertBasic(t *testing.T) {
+	s := New()
+	for _, v := range []int{5, 3, 8, 1, 4, 7, 9, 2, 6} {
+		if !s.Insert(v) {
+			t.Fatalf("Insert(%d) = false on fresh value", v)
+		}
+	}
+	if s.Insert(5) {
+		t.Fatal("duplicate Insert reported true")
+	}
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", s.Len())
+	}
+	for i := 1; i <= 9; i++ {
+		if !s.Contains(i) {
+			t.Fatalf("missing %d", i)
+		}
+		if v, ok := s.Select(i); !ok || v != i {
+			t.Fatalf("Select(%d) = %d,%v; want %d,true", i, v, ok, i)
+		}
+	}
+	validate(t, s)
+}
+
+func TestDeleteBasic(t *testing.T) {
+	s := New(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	for _, v := range []int{5, 1, 10, 7} {
+		if !s.Delete(v) {
+			t.Fatalf("Delete(%d) = false", v)
+		}
+		if s.Contains(v) {
+			t.Fatalf("still contains %d after delete", v)
+		}
+		validate(t, s)
+	}
+	want := []int{2, 3, 4, 6, 8, 9}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New(42, 7, 99, 13)
+	if v, ok := s.Min(); !ok || v != 7 {
+		t.Fatalf("Min = %d,%v; want 7,true", v, ok)
+	}
+	if v, ok := s.Max(); !ok || v != 99 {
+		t.Fatalf("Max = %d,%v; want 99,true", v, ok)
+	}
+}
+
+func TestRank(t *testing.T) {
+	s := New(10, 20, 30, 40, 50)
+	tests := []struct {
+		v    int
+		want int
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 2}, {45, 4}, {50, 5}, {99, 5},
+	}
+	for _, tt := range tests {
+		if got := s.Rank(tt.v); got != tt.want {
+			t.Errorf("Rank(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestNewRangeSizes(t *testing.T) {
+	for count := 0; count <= 300; count++ {
+		s := NewRange(1, count)
+		if s.Len() != count {
+			t.Fatalf("NewRange(1,%d).Len() = %d", count, s.Len())
+		}
+		validate(t, s)
+		for i := 1; i <= count; i++ {
+			if v, ok := s.Select(i); !ok || v != i {
+				t.Fatalf("count=%d Select(%d) = %d,%v", count, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestNewRangeThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, count := range []int{1, 2, 17, 64, 100, 255, 256, 257} {
+		s := NewRange(0, count-1)
+		// Interleave deletes and inserts, validating the whole way.
+		for i := 0; i < 2*count; i++ {
+			v := rng.Intn(count * 2)
+			if rng.Intn(2) == 0 {
+				s.Delete(v)
+			} else {
+				s.Insert(v)
+			}
+		}
+		validate(t, s)
+	}
+}
+
+func TestSelectExcluding(t *testing.T) {
+	s := NewRange(1, 10)
+	excl := New(2, 3, 7)
+	// s \ excl = {1,4,5,6,8,9,10}
+	want := []int{1, 4, 5, 6, 8, 9, 10}
+	for i, w := range want {
+		if v, ok := s.SelectExcluding(excl, i+1); !ok || v != w {
+			t.Fatalf("SelectExcluding(i=%d) = %d,%v; want %d", i+1, v, ok, w)
+		}
+	}
+	if _, ok := s.SelectExcluding(excl, len(want)+1); ok {
+		t.Fatal("SelectExcluding out of range succeeded")
+	}
+	if _, ok := s.SelectExcluding(excl, 0); ok {
+		t.Fatal("SelectExcluding(0) succeeded")
+	}
+}
+
+func TestSelectExcludingDisjoint(t *testing.T) {
+	// Exclusions not present in s must be ignored.
+	s := New(1, 3, 5)
+	excl := New(2, 4, 6)
+	for i, w := range []int{1, 3, 5} {
+		if v, ok := s.SelectExcluding(excl, i+1); !ok || v != w {
+			t.Fatalf("SelectExcluding(i=%d) = %d,%v; want %d", i+1, v, ok, w)
+		}
+	}
+}
+
+func TestSelectExcludingAllExcluded(t *testing.T) {
+	s := New(1, 2, 3)
+	excl := New(1, 2, 3)
+	if _, ok := s.SelectExcluding(excl, 1); ok {
+		t.Fatal("SelectExcluding with everything excluded succeeded")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewRange(1, 50)
+	c := s.Clone()
+	c.Delete(25)
+	if !s.Contains(25) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.Contains(25) {
+		t.Fatal("clone delete did not stick")
+	}
+	validate(t, c)
+	validate(t, s)
+}
+
+func TestClear(t *testing.T) {
+	s := NewRange(1, 10)
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", s.Len())
+	}
+	s.Insert(3)
+	if !s.Contains(3) || s.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+	validate(t, s)
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	s := NewRange(1, 100)
+	n := 0
+	s.Ascend(func(v int) bool {
+		n++
+		return v < 10
+	})
+	if n != 10 {
+		t.Fatalf("visited %d elements, want 10", n)
+	}
+}
+
+// TestModelRandomOps drives the tree and a map-based reference model with
+// the same random operation stream and compares observable behaviour.
+func TestModelRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	model := make(map[int]bool)
+	const universe = 200
+	for op := 0; op < 20000; op++ {
+		v := rng.Intn(universe)
+		switch rng.Intn(3) {
+		case 0:
+			got, want := s.Insert(v), !model[v]
+			if got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", op, v, got, want)
+			}
+			model[v] = true
+		case 1:
+			got, want := s.Delete(v), model[v]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, v, got, want)
+			}
+			delete(model, v)
+		case 2:
+			if got, want := s.Contains(v), model[v]; got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", op, v, got, want)
+			}
+		}
+		if op%500 == 0 {
+			validate(t, s)
+			checkAgainstModel(t, s, model)
+		}
+	}
+	validate(t, s)
+	checkAgainstModel(t, s, model)
+}
+
+func checkAgainstModel(t *testing.T, s *Set, model map[int]bool) {
+	t.Helper()
+	keys := make([]int, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, model has %d", s.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if v, ok := s.Select(i + 1); !ok || v != k {
+			t.Fatalf("Select(%d) = %d,%v; want %d", i+1, v, ok, k)
+		}
+		if got := s.Rank(k); got != i+1 {
+			t.Fatalf("Rank(%d) = %d, want %d", k, got, i+1)
+		}
+	}
+	got := s.Slice()
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Slice mismatch at %d: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+// TestQuickSelectExcluding property-tests SelectExcluding against a brute
+// force difference computation.
+func TestQuickSelectExcluding(t *testing.T) {
+	f := func(base []uint8, excl []uint8, idx uint8) bool {
+		s := New()
+		for _, v := range base {
+			s.Insert(int(v))
+		}
+		e := New()
+		for _, v := range excl {
+			e.Insert(int(v))
+		}
+		// Brute force: sorted slice of s minus e.
+		var diff []int
+		s.Ascend(func(v int) bool {
+			if !e.Contains(v) {
+				diff = append(diff, v)
+			}
+			return true
+		})
+		i := int(idx)%(len(diff)+2) + 1 // probe in and slightly out of range
+		v, ok := s.SelectExcluding(e, i)
+		if i <= len(diff) {
+			return ok && v == diff[i-1]
+		}
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRankSelectInverse checks Select(Rank(v)) == v for members.
+func TestQuickRankSelectInverse(t *testing.T) {
+	f := func(vals []uint16) bool {
+		s := New()
+		for _, v := range vals {
+			s.Insert(int(v))
+		}
+		ok := true
+		s.Ascend(func(v int) bool {
+			r := s.Rank(v)
+			got, found := s.Select(r)
+			if !found || got != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(i)
+	}
+}
+
+func BenchmarkSelectExcluding(b *testing.B) {
+	s := NewRange(1, 1<<16)
+	excl := New()
+	for i := 1; i <= 32; i++ {
+		excl.Insert(i * 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SelectExcluding(excl, i%(1<<15)+1); !ok {
+			b.Fatal("unexpected out of range")
+		}
+	}
+}

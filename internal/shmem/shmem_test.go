@@ -1,0 +1,123 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSimMemReadWrite(t *testing.T) {
+	m := NewSim(4)
+	if m.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", m.Size())
+	}
+	for i := 0; i < 4; i++ {
+		if v := m.Read(i); v != 0 {
+			t.Fatalf("initial Read(%d) = %d, want 0", i, v)
+		}
+	}
+	m.Write(2, 42)
+	if v := m.Read(2); v != 42 {
+		t.Fatalf("Read(2) = %d, want 42", v)
+	}
+	if m.Reads() != 5 || m.Writes() != 1 {
+		t.Fatalf("counters = %d reads, %d writes; want 5, 1", m.Reads(), m.Writes())
+	}
+	if m.Accesses() != 6 {
+		t.Fatalf("Accesses = %d, want 6", m.Accesses())
+	}
+}
+
+func TestSimMemTAS(t *testing.T) {
+	m := NewSim(2)
+	if got := m.TestAndSet(0); got != 0 {
+		t.Fatalf("first TAS = %d, want 0", got)
+	}
+	if got := m.TestAndSet(0); got != 1 {
+		t.Fatalf("second TAS = %d, want 1", got)
+	}
+	if v := m.Read(0); v != 1 {
+		t.Fatalf("register after TAS = %d, want 1", v)
+	}
+	if v := m.Read(1); v != 0 {
+		t.Fatalf("untouched register = %d, want 0", v)
+	}
+}
+
+func TestSimMemSnapshotRestore(t *testing.T) {
+	m := NewSim(3)
+	m.Write(0, 1)
+	m.Write(1, 2)
+	snap := m.Snapshot()
+	m.Write(0, 99)
+	m.Write(2, 7)
+	m.Restore(snap)
+	want := []int64{1, 2, 0}
+	for i, w := range want {
+		if v := m.Read(i); v != w {
+			t.Fatalf("after restore Read(%d) = %d, want %d", i, v, w)
+		}
+	}
+	// Snapshot must be a copy, not an alias.
+	snap[0] = 1234
+	if v := m.Read(0); v == 1234 {
+		t.Fatal("Snapshot aliases memory")
+	}
+}
+
+func TestAtomicMemReadWrite(t *testing.T) {
+	m := NewAtomic(2)
+	m.Write(1, -5)
+	if v := m.Read(1); v != -5 {
+		t.Fatalf("Read = %d, want -5", v)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size())
+	}
+}
+
+func TestAtomicMemTASExactlyOneWinner(t *testing.T) {
+	const goroutines = 32
+	m := NewAtomic(1)
+	var (
+		wg      sync.WaitGroup
+		winners = make(chan int, goroutines)
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if m.TestAndSet(0) == 0 {
+				winners <- id
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(winners)
+	n := 0
+	for range winners {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d TAS winners, want exactly 1", n)
+	}
+}
+
+func TestAtomicMemConcurrentDistinctCells(t *testing.T) {
+	const goroutines = 16
+	m := NewAtomic(goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Write(id, int64(i))
+				if v := m.Read(id); v != int64(i) {
+					t.Errorf("goroutine %d read %d, want %d", id, v, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

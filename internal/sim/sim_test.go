@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"atmostonce/internal/shmem"
+)
+
+// toyProc writes its id into register id-1 a fixed number of times, then
+// terminates. One write per step.
+type toyProc struct {
+	id     int
+	left   int
+	status Status
+	mem    shmem.Mem
+	world  *World
+	work   uint64
+}
+
+func (p *toyProc) ID() int        { return p.id }
+func (p *toyProc) Status() Status { return p.status }
+func (p *toyProc) Crash()         { p.status = Crashed }
+func (p *toyProc) Work() uint64   { return p.work }
+
+func (p *toyProc) Step() {
+	if p.left == 0 {
+		p.status = Done
+		return
+	}
+	p.mem.Write(p.id-1, int64(p.id))
+	p.world.RecordDo(p.id, int64(p.left))
+	p.left--
+	p.work++
+}
+
+func newToyWorld(m, writes, maxCrashes int) *World {
+	mem := shmem.NewSim(m)
+	toys := make([]*toyProc, m)
+	procs := make([]Process, m)
+	for i := 0; i < m; i++ {
+		toys[i] = &toyProc{id: i + 1, left: writes, status: Running, mem: mem}
+		procs[i] = toys[i]
+	}
+	w := NewWorld(procs, mem, maxCrashes)
+	for _, p := range toys {
+		p.world = w
+	}
+	return w
+}
+
+func TestRunRoundRobinTerminates(t *testing.T) {
+	w := newToyWorld(4, 10, 0)
+	res, err := Run(w, &RoundRobin{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DoneProcs != 4 || res.CrashProcs != 0 {
+		t.Fatalf("done=%d crashed=%d, want 4,0", res.DoneProcs, res.CrashProcs)
+	}
+	// Each process: 10 writes + 1 terminating step.
+	if res.Steps != 44 {
+		t.Fatalf("steps = %d, want 44", res.Steps)
+	}
+	if res.MemWrites != 40 {
+		t.Fatalf("writes = %d, want 40", res.MemWrites)
+	}
+	if res.TotalWork != 40 {
+		t.Fatalf("work = %d, want 40", res.TotalWork)
+	}
+	if len(res.Events) != 40 {
+		t.Fatalf("events = %d, want 40", len(res.Events))
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	w := newToyWorld(2, 1000, 0)
+	_, err := Run(w, &RoundRobin{}, 10)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCrashBudgetClamped(t *testing.T) {
+	w := newToyWorld(3, 1, 5)
+	if w.MaxCrashes != 2 {
+		t.Fatalf("MaxCrashes = %d, want clamped 2 (f < m)", w.MaxCrashes)
+	}
+}
+
+func TestCrashListCrashesVictims(t *testing.T) {
+	w := newToyWorld(4, 5, 2)
+	adv := &CrashList{Victims: []int{1, 3}, Then: &RoundRobin{}}
+	res, err := Run(w, adv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", res.Crashes)
+	}
+	if w.Procs[0].Status() != Crashed || w.Procs[2].Status() != Crashed {
+		t.Fatal("victims not crashed")
+	}
+	if w.Procs[1].Status() != Done || w.Procs[3].Status() != Done {
+		t.Fatal("survivors not done")
+	}
+	// Crashed before any step: only survivors produced events.
+	for _, e := range res.Events {
+		if e.PID == 1 || e.PID == 3 {
+			t.Fatalf("crashed process %d produced event", e.PID)
+		}
+	}
+}
+
+func TestCrashBudgetEnforced(t *testing.T) {
+	w := newToyWorld(3, 2, 1)
+	adv := &CrashList{Victims: []int{1, 2, 3}, Then: &RoundRobin{}}
+	res, err := Run(w, adv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1 (budget)", res.Crashes)
+	}
+	if res.DoneProcs != 2 {
+		t.Fatalf("done = %d, want 2", res.DoneProcs)
+	}
+}
+
+func TestRandomAdversaryDeterministic(t *testing.T) {
+	run := func() *Result {
+		w := newToyWorld(3, 20, 1)
+		adv := NewRandom(42)
+		adv.CrashProb = 0.05
+		res, err := Run(w, adv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Steps != b.Steps || a.Crashes != b.Crashes || len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSoloRunsOneProcessFirst(t *testing.T) {
+	w := newToyWorld(3, 4, 0)
+	res, err := Run(w, &Solo{PID: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 4 events must all belong to process 2.
+	for i := 0; i < 4; i++ {
+		if res.Events[i].PID != 2 {
+			t.Fatalf("event %d from pid %d, want 2", i, res.Events[i].PID)
+		}
+	}
+}
+
+func TestScriptedReplaysThenDelegates(t *testing.T) {
+	w := newToyWorld(2, 3, 0)
+	script := []Decision{StepOf(2), StepOf(2), StepOf(1)}
+	res, err := Run(w, &Scripted{Script: script, Then: &RoundRobin{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events[0].PID != 2 || res.Events[1].PID != 2 || res.Events[2].PID != 1 {
+		t.Fatalf("script not honored: %+v", res.Events[:3])
+	}
+}
+
+func TestAdversaryChoosesStoppedProcess(t *testing.T) {
+	w := newToyWorld(2, 1, 0)
+	// Malformed adversary that always names process 1.
+	bad := adversaryFunc(func(*World) Decision { return StepOf(1) })
+	_, err := Run(w, bad, 0)
+	if err == nil {
+		t.Fatal("expected error when adversary steps a stopped process")
+	}
+}
+
+type adversaryFunc func(*World) Decision
+
+func (f adversaryFunc) Next(w *World) Decision { return f(w) }
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{Running, "running"}, {Done, "done"}, {Crashed, "crashed"}, {Status(9), "Status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestObserverRunsBeforeEveryDecision(t *testing.T) {
+	w := newToyWorld(2, 3, 0)
+	var calls []uint64
+	obs := &Observer{Inner: &RoundRobin{}, Fn: func(w *World) {
+		calls = append(calls, w.Steps())
+	}}
+	res, err := Run(w, obs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(calls)) != res.Steps {
+		t.Fatalf("observer called %d times for %d steps", len(calls), res.Steps)
+	}
+	for i, c := range calls {
+		if c != uint64(i) {
+			t.Fatalf("call %d saw step counter %d (must run before the step)", i, c)
+		}
+	}
+}
+
+func TestObserverNilFn(t *testing.T) {
+	w := newToyWorld(2, 2, 0)
+	if _, err := Run(w, &Observer{Inner: &RoundRobin{}}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

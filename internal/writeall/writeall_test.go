@@ -1,0 +1,117 @@
+package writeall
+
+import (
+	"testing"
+
+	"atmostonce/internal/sim"
+)
+
+const stepLimit = 100_000_000
+
+func TestIterKKCoversAll(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rep, err := RunIterKK(500, 3, 1, 0, sim.NewRandom(seed), stepLimit)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Complete() {
+			t.Fatalf("seed %d: %d cells unwritten: %v", seed, len(rep.Missing), rep.Missing)
+		}
+		if rep.Writes < rep.N {
+			t.Fatalf("seed %d: writes %d < n", seed, rep.Writes)
+		}
+	}
+}
+
+func TestIterKKCoversAllUnderCrashes(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		adv := sim.NewRandom(seed)
+		adv.CrashProb = 0.001
+		rep, err := RunIterKK(400, 4, 1, 3, adv, stepLimit)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Complete() {
+			t.Fatalf("seed %d (crashes=%d): %d cells unwritten", seed, rep.Crashes, len(rep.Missing))
+		}
+	}
+}
+
+func TestIterKKCrashStorm(t *testing.T) {
+	// Crash all but one process immediately; the survivor must finish.
+	adv := &sim.CrashList{Victims: []int{2, 3, 4}, Then: &sim.RoundRobin{}}
+	rep, err := RunIterKK(300, 4, 2, 3, adv, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("%d cells unwritten after crash storm", len(rep.Missing))
+	}
+}
+
+func TestTrivialCoversAll(t *testing.T) {
+	rep, err := RunTrivial(200, 4, 3, &sim.CrashList{Victims: []int{1, 2, 3}, Then: &sim.RoundRobin{}}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatal("trivial WA incomplete")
+	}
+	// Work is Θ(n·m) when nobody crashes; here survivors still paid ~n.
+	if rep.Work < 200 {
+		t.Fatalf("work %d < n", rep.Work)
+	}
+}
+
+func TestTrivialWorkIsNM(t *testing.T) {
+	rep, err := RunTrivial(100, 5, 0, &sim.RoundRobin{}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work != 500 {
+		t.Fatalf("work = %d, want n·m = 500", rep.Work)
+	}
+	if !rep.Complete() {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestCheckSweepCoversAll(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		adv := sim.NewRandom(seed)
+		adv.CrashProb = 0.002
+		rep, err := RunCheckSweep(300, 3, 2, adv, stepLimit)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Complete() {
+			t.Fatalf("seed %d: incomplete (%d missing)", seed, len(rep.Missing))
+		}
+	}
+}
+
+func TestCheckSweepFewerWritesThanTrivial(t *testing.T) {
+	tr, err := RunTrivial(400, 4, 0, &sim.RoundRobin{}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunCheckSweep(400, 4, 0, &sim.RoundRobin{}, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Writes >= tr.Writes {
+		t.Fatalf("check-sweep writes %d ≥ trivial writes %d", cs.Writes, tr.Writes)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := RunTrivial(0, 1, 0, &sim.RoundRobin{}, 10); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RunCheckSweep(2, 4, 0, &sim.RoundRobin{}, 10); err == nil {
+		t.Fatal("n<m accepted")
+	}
+	if _, err := RunIterKK(2, 4, 1, 0, &sim.RoundRobin{}, 10); err == nil {
+		t.Fatal("n<m accepted")
+	}
+}
