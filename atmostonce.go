@@ -14,11 +14,15 @@
 //   - WA_IterativeKK(ε): a Write-All solution with the same work bound
 //     (Theorem 7.1).
 //
-// The package offers two modes. Run executes jobs on real goroutines over
-// sync/atomic registers. Simulate executes the algorithms under a
-// deterministic adversarial scheduler with crash injection and returns
-// effectiveness/work/collision measurements — the mode used to reproduce
-// the paper's results (see EXPERIMENTS.md).
+// The package offers three modes. Run executes a fixed batch of jobs on
+// real goroutines over sync/atomic registers. NewDispatcher serves a
+// continuous job stream: it batches submissions into rounds across
+// independent KKβ shards and carries each round's unperformed residue into
+// the next, so the per-round effectiveness tail is deferred, never lost.
+// Simulate executes the algorithms under a deterministic adversarial
+// scheduler with crash injection and returns effectiveness/work/collision
+// measurements — the mode used to reproduce the paper's results
+// (regenerate EXPERIMENTS.md with cmd/amo-bench).
 package atmostonce
 
 import (

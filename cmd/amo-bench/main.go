@@ -1,11 +1,15 @@
-// Command amo-bench runs the reproduction experiment suite E1–E8 (one
+// Command amo-bench runs the reproduction experiment suite E1–E9 (one
 // experiment per theorem of Kentros & Kiayias 2011/2013; see DESIGN.md §4)
 // and prints the result tables as Markdown. EXPERIMENTS.md is generated
 // from this output.
 //
+// With -throughput it instead benchmarks the streaming Dispatcher,
+// sweeping shards × workers × batch size and reporting jobs/sec.
+//
 // Usage:
 //
 //	amo-bench [-quick] [-only E3]
+//	amo-bench -throughput [-quick]
 package main
 
 import (
@@ -28,9 +32,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("amo-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run reduced sweeps")
-	only := fs.String("only", "", "run a single experiment (E1..E8)")
+	only := fs.String("only", "", "run a single experiment (E1..E9)")
+	throughput := fs.Bool("throughput", false, "benchmark the streaming dispatcher instead of the E1-E9 suite")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *throughput {
+		return runThroughput(*quick)
 	}
 	s := harness.Suite{Quick: *quick}
 	experiments := map[string]func() *harness.Table{
@@ -51,7 +59,7 @@ func run(args []string) error {
 	if *only != "" {
 		fn, ok := experiments[strings.ToUpper(*only)]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E8)", *only)
+			return fmt.Errorf("unknown experiment %q (want E1..E9)", *only)
 		}
 		tables = append(tables, fn())
 	} else {

@@ -20,6 +20,12 @@ func TestRunLowercaseID(t *testing.T) {
 	}
 }
 
+func TestRunThroughputQuick(t *testing.T) {
+	if err := run([]string{"-throughput", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if mode(true) != "quick" || mode(false) != "full" {
 		t.Fatal("mode strings wrong")

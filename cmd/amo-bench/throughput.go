@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"atmostonce"
+)
+
+// throughputShape is one sweep point of the streaming benchmark.
+type throughputShape struct {
+	Shards, Workers, Batch int
+}
+
+// runThroughput streams a fixed job count through the Dispatcher at each
+// shards × workers × batch shape and prints a Markdown jobs/sec table. The
+// payload is a single atomic increment, so the numbers measure engine
+// overhead: round cutting, KKβ coordination and residue carry-over.
+func runThroughput(quick bool) error {
+	jobs := 200_000
+	shapes := []throughputShape{
+		{1, 2, 256}, {1, 4, 1024},
+		{2, 4, 1024}, {4, 4, 1024},
+		{4, 8, 1024}, {8, 4, 4096},
+	}
+	if quick {
+		jobs = 30_000
+		shapes = shapes[:4]
+	}
+
+	fmt.Printf("# Streaming dispatcher throughput (%s mode)\n\n", mode(quick))
+	fmt.Printf("%d jobs per shape; payload = one atomic increment.\n\n", jobs)
+	fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec |")
+	fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|")
+	for _, sh := range shapes {
+		st, err := streamOnce(sh, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f |\n",
+			sh.Shards, sh.Workers, sh.Batch, st.Rounds, st.Residue, st.Crashes, st.JobsPerSec)
+	}
+	fmt.Println()
+	return nil
+}
+
+func streamOnce(sh throughputShape, jobs int) (atmostonce.DispatcherStats, error) {
+	var zero atmostonce.DispatcherStats
+	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
+		Shards:          sh.Shards,
+		WorkersPerShard: sh.Workers,
+		MaxBatch:        sh.Batch,
+	})
+	if err != nil {
+		return zero, err
+	}
+	defer d.Close()
+
+	var count atomic.Uint64
+	job := func() { count.Add(1) }
+	const chunk = 2000
+	fns := make([]func(), chunk)
+	for i := range fns {
+		fns[i] = job
+	}
+	start := time.Now()
+	for sent := 0; sent < jobs; sent += chunk {
+		n := chunk
+		if rem := jobs - sent; rem < n {
+			n = rem
+		}
+		if _, err := d.SubmitBatch(fns[:n]); err != nil {
+			return zero, err
+		}
+	}
+	d.Flush()
+	elapsed := time.Since(start)
+
+	if got := count.Load(); got != uint64(jobs) {
+		return zero, fmt.Errorf("throughput: performed %d of %d jobs", got, jobs)
+	}
+	st := d.Stats()
+	if st.Duplicates != 0 {
+		return zero, fmt.Errorf("throughput: %d duplicate executions", st.Duplicates)
+	}
+	// Recompute over the measured window rather than dispatcher lifetime.
+	st.JobsPerSec = float64(jobs) / elapsed.Seconds()
+	return st, nil
+}

@@ -1,0 +1,152 @@
+package atmostonce
+
+import (
+	"time"
+
+	"atmostonce/internal/dispatch"
+)
+
+// DispatcherConfig configures a streaming Dispatcher.
+type DispatcherConfig struct {
+	// Shards is the number of independent KKβ engines jobs are spread
+	// over; rounds on different shards execute fully in parallel
+	// (default 1).
+	Shards int
+	// WorkersPerShard is m for each shard's worker pool (default 4).
+	WorkersPerShard int
+	// Beta is KKβ's termination parameter per shard (0 = WorkersPerShard,
+	// the effectiveness-optimal choice).
+	Beta int
+	// MaxBatch caps the jobs a shard executes per round (default 1024).
+	MaxBatch int
+	// Jitter adds scheduling noise inside the pools; Seed makes it
+	// deterministic.
+	Jitter bool
+	Seed   int64
+	// CrashPlan optionally injects worker crashes for fault testing:
+	// before shard s runs its round r (0-based) it receives
+	// CrashPlan(s, r); a non-nil result gives each worker a step count
+	// after which it stops (0 = never; at least one worker must survive).
+	// Crashed workers revive on the shard's next round, and the jobs their
+	// crash left unperformed are carried into it.
+	CrashPlan func(shard, round int) []uint64
+}
+
+// Dispatcher executes a continuous stream of jobs with at-most-once
+// semantics. Submitted jobs are batched into rounds; every round runs the
+// KKβ algorithm on one of S independent shards, and jobs a round leaves
+// unperformed (Theorem 2.1 makes some unavoidable) are carried into the
+// shard's next round. A job is therefore executed at most once — and, as
+// long as the dispatcher runs, exactly once; the per-round effectiveness
+// tail of ≤ β+m−2 jobs is deferred, never lost.
+//
+// All methods are safe for concurrent use. See examples/stream.
+type Dispatcher struct {
+	d *dispatch.Dispatcher
+}
+
+// NewDispatcher starts a dispatcher; Close must be called to release its
+// worker pools.
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	d, err := dispatch.New(dispatch.Config{
+		Shards:    cfg.Shards,
+		Workers:   cfg.WorkersPerShard,
+		Beta:      cfg.Beta,
+		MaxBatch:  cfg.MaxBatch,
+		Jitter:    cfg.Jitter,
+		Seed:      cfg.Seed,
+		CrashPlan: cfg.CrashPlan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dispatcher{d: d}, nil
+}
+
+// Submit enqueues fn for at-most-once execution and returns its job id.
+// Ids are assigned sequentially from 1.
+func (d *Dispatcher) Submit(fn func()) (uint64, error) { return d.d.Submit(fn) }
+
+// SubmitBatch enqueues the jobs in order and returns the first id of their
+// contiguous id block. Acceptance is all-or-nothing: a batch racing Close
+// is either fully accepted (and performed) or rejected with an error.
+func (d *Dispatcher) SubmitBatch(fns []func()) (uint64, error) {
+	if len(fns) == 0 {
+		return 0, nil
+	}
+	jobs := make([]dispatch.Job, len(fns))
+	for i, fn := range fns {
+		jobs[i] = fn
+	}
+	return d.d.SubmitBatch(jobs)
+}
+
+// Flush blocks until every job submitted so far has been performed,
+// including residue carried across rounds.
+func (d *Dispatcher) Flush() { d.d.Flush() }
+
+// Close drains pending jobs, stops the shards and releases the pools.
+// Subsequent Submits fail. Close is idempotent.
+func (d *Dispatcher) Close() error { return d.d.Close() }
+
+// Stats returns a point-in-time snapshot of dispatcher progress.
+func (d *Dispatcher) Stats() DispatcherStats {
+	st := d.d.Stats()
+	out := DispatcherStats{
+		Submitted:  st.Submitted,
+		Performed:  st.Performed,
+		Pending:    st.Pending,
+		Rounds:     st.Rounds,
+		Residue:    st.Residue,
+		Duplicates: st.Duplicates,
+		Crashes:    st.Crashes,
+		Steps:      st.Steps,
+		Work:       st.Work,
+		Elapsed:    st.Elapsed,
+		JobsPerSec: st.JobsPerSec,
+		Shards:     make([]DispatcherShardStats, len(st.Shards)),
+	}
+	for i, sh := range st.Shards {
+		out.Shards[i] = DispatcherShardStats{
+			Rounds:        sh.Rounds,
+			Performed:     sh.Performed,
+			Residue:       sh.Residue,
+			Duplicates:    sh.Duplicates,
+			Crashes:       sh.Crashes,
+			Steps:         sh.Steps,
+			Work:          sh.Work,
+			LastBatch:     sh.LastBatch,
+			LastPerformed: sh.LastPerformed,
+		}
+	}
+	return out
+}
+
+// DispatcherStats snapshots dispatcher progress counters.
+type DispatcherStats struct {
+	// Submitted, Performed and Pending count jobs end to end; Pending jobs
+	// are queued or in flight.
+	Submitted, Performed, Pending uint64
+	// Rounds is the number of executed rounds across all shards; Residue
+	// counts jobs that were carried from one round to a later one (each
+	// carry counts once). Duplicates is always 0 — it is reported so
+	// harnesses can assert it. Crashes counts injected worker crashes.
+	Rounds, Residue, Duplicates, Crashes uint64
+	// Steps and Work aggregate the paper's cost measures over all rounds.
+	Steps, Work uint64
+	// Elapsed is the time since NewDispatcher; JobsPerSec is
+	// Performed/Elapsed.
+	Elapsed    time.Duration
+	JobsPerSec float64
+	// Shards is the per-shard breakdown, indexed by shard id.
+	Shards []DispatcherShardStats
+}
+
+// DispatcherShardStats reports one shard's counters; see the dispatch
+// package for per-field semantics. LastPerformed/LastBatch is the shard's
+// most recent round effectiveness.
+type DispatcherShardStats struct {
+	Rounds, Performed, Residue, Duplicates, Crashes uint64
+	Steps, Work                                     uint64
+	LastBatch, LastPerformed                        int
+}

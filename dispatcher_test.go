@@ -1,0 +1,106 @@
+package atmostonce
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDispatcherEndToEnd streams 100k jobs from concurrent producers
+// through 4 shards with crash injection: every job must execute exactly
+// once (zero duplicates, zero lost), with the per-round residue drained by
+// Flush.
+func TestDispatcherEndToEnd(t *testing.T) {
+	const (
+		jobs      = 100_000
+		producers = 4
+	)
+	d, err := NewDispatcher(DispatcherConfig{
+		Shards:          4,
+		WorkersPerShard: 4,
+		MaxBatch:        512,
+		Jitter:          true,
+		Seed:            9,
+		CrashPlan: func(shard, round int) []uint64 {
+			if round >= 20 {
+				return nil
+			}
+			return []uint64{0, uint64(200 + 17*round), 400, 0}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	counts := make([]atomic.Int32, jobs)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for base := p * (jobs / producers); base < (p+1)*(jobs/producers); base += 500 {
+				fns := make([]func(), 500)
+				for i := range fns {
+					idx := base + i
+					fns[i] = func() { counts[idx].Add(1) }
+				}
+				if _, err := d.SubmitBatch(fns); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	d.Flush()
+
+	lost, dup := 0, 0
+	for i := range counts {
+		switch c := counts[i].Load(); {
+		case c == 0:
+			lost++
+		case c > 1:
+			dup++
+		}
+	}
+	if lost != 0 || dup != 0 {
+		t.Fatalf("%d lost, %d duplicated of %d jobs", lost, dup, jobs)
+	}
+
+	st := d.Stats()
+	if st.Performed != jobs || st.Pending != 0 {
+		t.Fatalf("stats: performed %d pending %d", st.Performed, st.Pending)
+	}
+	if st.Duplicates != 0 {
+		t.Fatalf("stats: %d duplicates", st.Duplicates)
+	}
+	if st.Crashes == 0 || st.Residue == 0 {
+		t.Fatalf("fault injection inert: crashes=%d residue=%d", st.Crashes, st.Residue)
+	}
+	if st.Rounds == 0 || st.JobsPerSec <= 0 {
+		t.Fatalf("throughput counters missing: rounds=%d jobs/sec=%f", st.Rounds, st.JobsPerSec)
+	}
+}
+
+// TestDispatcherDefaults exercises the zero config and tiny submissions.
+func TestDispatcherDefaults(t *testing.T) {
+	d, err := NewDispatcher(DispatcherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	if _, err := d.Submit(func() { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if first, err := d.SubmitBatch(nil); err != nil || first != 0 {
+		t.Fatalf("empty batch: first=%d err=%v", first, err)
+	}
+	d.Flush()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("job ran %d times", ran.Load())
+	}
+}

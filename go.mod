@@ -1,0 +1,3 @@
+module atmostonce
+
+go 1.24

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"atmostonce/internal/core"
 	"atmostonce/internal/shmem"
@@ -105,27 +106,57 @@ func (l *eventLog) RecordDo(pid int, job int64) {
 }
 
 // Run executes the configured algorithm concurrently and returns the
-// merged, validated result.
+// merged, validated result. Plain KKβ runs execute as a single round on a
+// throwaway Runtime pool; the iterative variants spawn their level-chain
+// processes directly (IterProc chains are not reusable).
 func Run(o Options) (*Result, error) {
 	if err := o.normalize(); err != nil {
 		return nil, err
 	}
-	procs, logs, err := buildProcs(o)
+	if o.Iterative {
+		return runIterative(o)
+	}
+	rt, err := NewRuntime(RuntimeOptions{
+		M: o.M, Capacity: o.N, Beta: o.Beta, Jitter: o.Jitter, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	var fn func(worker, job int)
+	if o.DoFn != nil {
+		do := o.DoFn
+		fn = func(worker, job int) { do(worker, int64(job)) }
+	}
+	rr, err := rt.RunRound(o.N, fn, o.CrashAfter)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Events:     rt.Events(nil),
+		Distinct:   rr.Performed,
+		Duplicates: rr.Duplicates,
+		Crashed:    rr.Crashed,
+		Steps:      rr.Steps,
+	}, nil
+}
+
+// runIterative executes IterativeKK(ε) / WA_IterativeKK(ε): one goroutine
+// per level-chain process over a fresh register file.
+func runIterative(o Options) (*Result, error) {
+	procs, logs, err := buildIterProcs(o)
 	if err != nil {
 		return nil, err
 	}
 	var (
-		wg    sync.WaitGroup
-		steps = make([]uint64, o.M)
+		wg      sync.WaitGroup
+		steps   = make([]uint64, o.M)
+		crashed atomic.Int64
 	)
-	crashed := 0
 	for i := 0; i < o.M; i++ {
 		var crashAt uint64
 		if o.CrashAfter != nil {
 			crashAt = o.CrashAfter[i]
-		}
-		if crashAt > 0 {
-			crashed++
 		}
 		wg.Add(1)
 		go func(idx int, p sim.Process, crashAt uint64) {
@@ -136,7 +167,11 @@ func Run(o Options) (*Result, error) {
 			}
 			for p.Status() == sim.Running {
 				if crashAt > 0 && steps[idx] >= crashAt {
+					// Count crashes as they are delivered: a process that
+					// terminates before reaching its crash step did not
+					// crash.
 					p.Crash()
+					crashed.Add(1)
 					return
 				}
 				p.Step()
@@ -149,7 +184,7 @@ func Run(o Options) (*Result, error) {
 	}
 	wg.Wait()
 
-	res := &Result{Crashed: crashed}
+	res := &Result{Crashed: int(crashed.Load())}
 	seen := make(map[int64]int, o.N)
 	for i, l := range logs {
 		res.Events = append(res.Events, l.events...)
@@ -165,42 +200,24 @@ func Run(o Options) (*Result, error) {
 	return res, nil
 }
 
-func buildProcs(o Options) ([]sim.Process, []*eventLog, error) {
+func buildIterProcs(o Options) ([]sim.Process, []*eventLog, error) {
 	procs := make([]sim.Process, o.M)
 	logs := make([]*eventLog, o.M)
-	if o.Iterative {
-		cfg := core.IterConfig{N: o.N, M: o.M, EpsDenom: o.EpsDenom, WriteAll: o.WriteAll, Beta: o.Beta}
-		cfg, levels, size, err := core.PlanLevels(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		iters := core.NewIterProcsOn(cfg, levels, shmem.NewAtomic(size))
-		for i, ip := range iters {
-			logs[i] = &eventLog{pid: i + 1}
-			ip.SetSink(logs[i])
-			if o.DoFn != nil {
-				pid := i + 1
-				fn := o.DoFn
-				ip.SetDoFn(func(job int64) { fn(pid, job) })
-			}
-			procs[i] = ip
-		}
-		return procs, logs, nil
+	cfg := core.IterConfig{N: o.N, M: o.M, EpsDenom: o.EpsDenom, WriteAll: o.WriteAll, Beta: o.Beta}
+	cfg, levels, size, err := core.PlanLevels(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	lay := core.Layout{M: o.M, RowLen: o.N}
-	mem := shmem.NewAtomic(lay.Size())
-	for i := 0; i < o.M; i++ {
+	iters := core.NewIterProcsOn(cfg, levels, shmem.NewAtomic(size))
+	for i, ip := range iters {
 		logs[i] = &eventLog{pid: i + 1}
-		opts := core.ProcOptions{
-			ID: i + 1, M: o.M, Beta: o.Beta, Layout: lay, Mem: mem,
-			Universe: o.N, Sink: logs[i],
-		}
+		ip.SetSink(logs[i])
 		if o.DoFn != nil {
 			pid := i + 1
 			fn := o.DoFn
-			opts.DoFn = func(job int64) { fn(pid, job) }
+			ip.SetDoFn(func(job int64) { fn(pid, job) })
 		}
-		procs[i] = core.NewProc(opts)
+		procs[i] = ip
 	}
 	return procs, logs, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package conc
+
+const raceEnabled = false

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"atmostonce/internal/oset"
 	"atmostonce/internal/shmem"
 	"atmostonce/internal/sim"
@@ -94,6 +96,7 @@ type Proc struct {
 	nSetOps   uint64 // set operations charged at O(log n)
 
 	out        *oset.Set // output set on termination (IterStepKK)
+	outBuf     *oset.Set // reusable backing storage for out across Resets
 	tryCulprit int       // process blamed for a pending collision on next
 }
 
@@ -145,6 +148,53 @@ func NewProc(o ProcOptions) *Proc {
 
 // ID implements sim.Process.
 func (p *Proc) ID() int { return p.id }
+
+// SetDoFn rebinds the per-job payload.
+func (p *Proc) SetDoFn(fn func(job int64)) { p.doFn = fn }
+
+// Prewarm grows the FREE/DONE/TRY node pools to their worst case for a
+// universe of the given size, so Reset and round execution never allocate
+// (DONE can reach the full universe; TRY never exceeds m-1 announcements).
+func (p *Proc) Prewarm(universe int) {
+	p.free.Reserve(universe)
+	p.free.ReserveSelectScratch(p.m)
+	p.done.Reserve(universe)
+	p.try.Reserve(p.m)
+	if p.outBuf == nil {
+		p.outBuf = oset.New()
+	}
+	p.outBuf.Reserve(universe)
+}
+
+// Reset returns the process to its Figure 1 start state over the dense job
+// universe [1..universe], reviving it from end or stop. All node storage of
+// the FREE/DONE/TRY sets is reused, so a warm process restarts without
+// allocating — the property the round-based runtime builds on. The caller
+// owns re-zeroing the shared-memory region; universe must fit the layout
+// row length fixed at construction.
+func (p *Proc) Reset(universe int) {
+	if universe < 1 || universe > p.lay.RowLen {
+		panic(fmt.Sprintf("core: Reset universe %d outside [1..%d]", universe, p.lay.RowLen))
+	}
+	p.phase = PhaseCompNext
+	p.termGath = false
+	p.free.ResetRange(1, universe)
+	p.done.Clear()
+	p.try.Clear()
+	for i := 1; i <= p.m; i++ {
+		p.pos[i] = 1
+	}
+	p.next = 0
+	p.q = 1
+	p.work = 0
+	p.nDone = 0
+	p.nAnnounce = 0
+	p.nShared = 0
+	p.nSetOps = 0
+	p.out = nil
+	p.tryCulprit = 0
+	p.lgN = ceilLog2(universe + 1)
+}
 
 // Status implements sim.Process.
 func (p *Proc) Status() sim.Status {
@@ -435,20 +485,21 @@ func (p *Proc) beginTermGather() {
 	p.phase = PhaseGatherTry
 }
 
-// terminate computes the output set and enters end.
+// terminate computes the output set and enters end. The set's storage is
+// reused across Resets, so the result is only valid until the next Reset.
 func (p *Proc) terminate() {
-	if p.retFree {
-		p.out = p.free.Clone()
+	if p.outBuf == nil {
+		p.outBuf = oset.New()
 	} else {
-		out := oset.New()
-		p.free.Ascend(func(v int) bool {
-			if !p.try.Contains(v) {
-				out.Insert(v)
-			}
-			return true
-		})
-		p.out = out
+		p.outBuf.Clear()
 	}
+	p.free.Ascend(func(v int) bool {
+		if p.retFree || !p.try.Contains(v) {
+			p.outBuf.Insert(v)
+		}
+		return true
+	})
+	p.out = p.outBuf
 	p.phase = PhaseEnd
 }
 

@@ -12,6 +12,7 @@ func (p *Proc) Clone() *Proc {
 	c.try = p.try.Clone()
 	c.pos = make([]int, len(p.pos))
 	copy(c.pos, p.pos)
+	c.outBuf = nil // never share output storage between clones
 	if p.out != nil {
 		c.out = p.out.Clone()
 	}
@@ -28,6 +29,7 @@ func (p *Proc) RestoreFrom(c *Proc) {
 	p.try = c.try.Clone()
 	p.pos = make([]int, len(c.pos))
 	copy(p.pos, c.pos)
+	p.outBuf = nil
 	if c.out != nil {
 		p.out = c.out.Clone()
 	}

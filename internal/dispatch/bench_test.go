@@ -1,0 +1,62 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkDispatcherThroughput measures end-to-end streaming throughput
+// (reported as jobs/sec) across shard × worker × batch shapes. Run with
+// -benchmem: the b.N loop submits and drains jobs through warm pools, so
+// steady-state allocations per job round to zero.
+func BenchmarkDispatcherThroughput(b *testing.B) {
+	shapes := []struct{ shards, workers, batch int }{
+		{1, 4, 1024},
+		{2, 4, 1024},
+		{4, 4, 1024},
+		{4, 8, 4096},
+	}
+	for _, sh := range shapes {
+		name := fmt.Sprintf("S%d_m%d_b%d", sh.shards, sh.workers, sh.batch)
+		b.Run(name, func(b *testing.B) {
+			d, err := New(Config{Shards: sh.shards, Workers: sh.workers, MaxBatch: sh.batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			var count atomic.Uint64
+			job := Job(func() { count.Add(1) })
+			fns := make([]Job, 2048)
+			for i := range fns {
+				fns[i] = job
+			}
+			// Warm the pools, queues and set-node arenas out of the timed
+			// region.
+			if _, err := d.SubmitBatch(fns); err != nil {
+				b.Fatal(err)
+			}
+			d.Flush()
+			count.Store(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			submitted := 0
+			for submitted < b.N {
+				n := len(fns)
+				if rem := b.N - submitted; rem < n {
+					n = rem
+				}
+				if _, err := d.SubmitBatch(fns[:n]); err != nil {
+					b.Fatal(err)
+				}
+				submitted += n
+			}
+			d.Flush()
+			b.StopTimer()
+			if got := count.Load(); got != uint64(b.N) {
+				b.Fatalf("performed %d of %d", got, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		})
+	}
+}

@@ -1,0 +1,297 @@
+// Package dispatch turns the paper's fixed-batch at-most-once primitive
+// into a streaming engine. A Dispatcher accepts a continuous stream of
+// jobs, batches them into rounds, and partitions each round across S
+// shards — every shard a persistent KKβ worker pool (conc.Runtime) with
+// its own m workers and register file. Each round's unperformed residue
+// (the unavoidable ≤ β+m−2 tail of Theorem 4.4, plus anything lost to
+// injected crashes) is carried to the front of the shard's queue for the
+// next round, so the additive per-round effectiveness loss never turns
+// into a lost job: every submitted job is eventually performed, and the
+// at-most-once guarantee holds end-to-end because a job is requeued only
+// when no worker performed it.
+//
+// This is the round/epoch construction of the do-all literature (Dwork,
+// Halpern & Waarts) layered over KKβ: amortize the per-round loss over a
+// long computation instead of paying it once on a single batch.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is a unit of user work. The dispatcher invokes it at most once,
+// from one of the shard's worker goroutines.
+type Job func()
+
+// Config configures a Dispatcher.
+type Config struct {
+	// Shards is S, the number of independent KKβ instances (default 1).
+	// Shards multiply throughput: rounds on different shards run fully in
+	// parallel and share nothing.
+	Shards int
+	// Workers is m, the worker goroutines per shard (default 4).
+	Workers int
+	// Beta is KKβ's termination parameter per shard (0 = Workers, the
+	// effectiveness-optimal choice).
+	Beta int
+	// MaxBatch caps the jobs a shard executes in one round (default 1024).
+	// It fixes the shard's register-file capacity, so memory is
+	// S·Workers·MaxBatch registers in total.
+	MaxBatch int
+	// Jitter adds scheduling noise inside the worker pools; Seed makes it
+	// deterministic.
+	Jitter bool
+	Seed   int64
+	// CrashPlan, when non-nil, injects worker crashes: before shard s runs
+	// its round r (0-based), CrashPlan(s, r) may return a per-worker step
+	// budget (0 = never crash; at least one worker must survive). Crashed
+	// workers are revived on the shard's next round. Malformed vectors are
+	// ignored. This is the fault-injection hook used by the chaos tests;
+	// a plan that crashes workers on every round forever can starve Flush.
+	CrashPlan func(shard, round int) []uint64
+}
+
+func (c *Config) normalize() error {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBatch < c.Workers {
+		c.MaxBatch = c.Workers
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("dispatch: negative beta %d", c.Beta)
+	}
+	return nil
+}
+
+// ErrClosed is returned by Submit and SubmitBatch after Close.
+var ErrClosed = errors.New("dispatch: dispatcher is closed")
+
+// Dispatcher is a long-lived, sharded, round-based at-most-once engine.
+// All methods are safe for concurrent use.
+type Dispatcher struct {
+	cfg    Config
+	shards []*shard
+	start  time.Time
+
+	nextID    atomic.Uint64 // job ids handed out
+	rr        atomic.Uint64 // round-robin shard cursor
+	submitted atomic.Uint64
+	performed atomic.Uint64
+
+	// closeMu makes submission all-or-nothing with respect to Close:
+	// submitters hold the read side across their closed-check and enqueue,
+	// and Close takes the write side after flipping closed, so a batch is
+	// either fully enqueued before the shards stop (and drains) or fully
+	// rejected — never partially accepted.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	mu   sync.Mutex // guards cond (Flush waiters)
+	cond *sync.Cond
+}
+
+// New builds the dispatcher and starts its S shard loops. Callers must
+// Close it to release the worker pools.
+func New(cfg Config) (*Dispatcher, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{cfg: cfg, start: time.Now()}
+	d.cond = sync.NewCond(&d.mu)
+	d.shards = make([]*shard, cfg.Shards)
+	for i := range d.shards {
+		s, err := newShard(d, i)
+		if err != nil {
+			for _, prev := range d.shards[:i] {
+				prev.stop()
+				prev.rt.Close()
+			}
+			return nil, err
+		}
+		d.shards[i] = s
+	}
+	for _, s := range d.shards {
+		go s.loop()
+	}
+	return d, nil
+}
+
+// Submit enqueues one job and returns its dispatcher-wide id. The job will
+// be executed at most once, and — as long as the dispatcher keeps running
+// rounds — exactly once.
+func (d *Dispatcher) Submit(fn Job) (uint64, error) {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	id := d.nextID.Add(1)
+	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
+	d.submitted.Add(1)
+	s.enqueue(entry{id: id, fn: fn})
+	return id, nil
+}
+
+// SubmitBatch enqueues the jobs in order and returns the id of the first;
+// the batch gets the contiguous id block [first, first+len(fns)). Jobs are
+// spread across shards in contiguous chunks, one shard lock per chunk.
+// Acceptance is all-or-nothing: either every job is enqueued (and will be
+// performed) or the call fails with ErrClosed and none are.
+func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
+	if len(fns) == 0 {
+		return 0, nil
+	}
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	n := uint64(len(fns))
+	first := d.nextID.Add(n) - n + 1
+	d.submitted.Add(n)
+	S := len(d.shards)
+	base := int(d.rr.Add(uint64(S)) - uint64(S))
+	chunk := (len(fns) + S - 1) / S
+	for i := 0; i < S && i*chunk < len(fns); i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(fns) {
+			hi = len(fns)
+		}
+		d.shards[(base+i)%S].enqueueBatch(first+uint64(lo), fns[lo:hi])
+	}
+	return first, nil
+}
+
+// Flush blocks until every job submitted so far has been performed — i.e.
+// all shard queues and in-flight rounds, including carried residue, have
+// drained. Jobs submitted concurrently with Flush may or may not be
+// waited for.
+func (d *Dispatcher) Flush() {
+	d.mu.Lock()
+	for d.performed.Load() < d.submitted.Load() {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// Close drains all pending jobs, stops the shard loops and releases the
+// worker pools. Subsequent Submits fail with ErrClosed; Close is
+// idempotent.
+func (d *Dispatcher) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	// Wait out in-flight submitters: anything that passed its closed-check
+	// finishes enqueueing before the shards are told to stop, so it drains.
+	d.closeMu.Lock()
+	d.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	for _, s := range d.shards {
+		s.stop()
+	}
+	for _, s := range d.shards {
+		<-s.done
+	}
+	for _, s := range d.shards {
+		s.rt.Close()
+	}
+	return nil
+}
+
+// jobsDone is called by shards after each round to publish progress.
+func (d *Dispatcher) jobsDone(n int) {
+	if n > 0 {
+		d.performed.Add(uint64(n))
+	}
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// ShardStats reports one shard's cumulative and latest-round counters.
+type ShardStats struct {
+	// Rounds is the number of rounds the shard has executed.
+	Rounds uint64
+	// Performed is the cumulative number of (real) jobs the shard
+	// executed; Residue is the cumulative number it carried over to a
+	// later round instead.
+	Performed uint64
+	Residue   uint64
+	// Duplicates is the cumulative duplicate count — always 0.
+	Duplicates uint64
+	// Crashes counts injected worker crashes (workers revive next round).
+	Crashes uint64
+	// Steps and Work aggregate the paper's cost measures over all rounds.
+	Steps uint64
+	Work  uint64
+	// LastBatch and LastPerformed describe the most recent round: jobs in,
+	// jobs done. LastPerformed/LastBatch is the round's effectiveness.
+	LastBatch     int
+	LastPerformed int
+}
+
+// Stats is a point-in-time snapshot of dispatcher progress.
+type Stats struct {
+	// Submitted, Performed and Pending count jobs; Pending jobs are queued
+	// or in flight.
+	Submitted uint64
+	Performed uint64
+	Pending   uint64
+	// Rounds, Residue, Duplicates, Crashes, Steps and Work sum the
+	// per-shard counters.
+	Rounds     uint64
+	Residue    uint64
+	Duplicates uint64
+	Crashes    uint64
+	Steps      uint64
+	Work       uint64
+	// Elapsed is the time since New; JobsPerSec is Performed/Elapsed.
+	Elapsed    time.Duration
+	JobsPerSec float64
+	// Shards holds the per-shard breakdown, indexed by shard id.
+	Shards []ShardStats
+}
+
+// Stats snapshots the dispatcher's counters.
+func (d *Dispatcher) Stats() Stats {
+	// Load performed first: submitted only grows, and a job is counted
+	// submitted before it can ever be performed, so this order (plus the
+	// clamp) keeps Pending from underflowing when jobs complete between
+	// the two loads.
+	performed := d.performed.Load()
+	st := Stats{
+		Submitted: d.submitted.Load(),
+		Performed: performed,
+		Elapsed:   time.Since(d.start),
+		Shards:    make([]ShardStats, len(d.shards)),
+	}
+	if st.Submitted < performed {
+		st.Submitted = performed
+	}
+	st.Pending = st.Submitted - performed
+	for i, s := range d.shards {
+		s.mu.Lock()
+		st.Shards[i] = s.stats
+		s.mu.Unlock()
+		st.Rounds += st.Shards[i].Rounds
+		st.Residue += st.Shards[i].Residue
+		st.Duplicates += st.Shards[i].Duplicates
+		st.Crashes += st.Shards[i].Crashes
+		st.Steps += st.Shards[i].Steps
+		st.Work += st.Shards[i].Work
+	}
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.JobsPerSec = float64(st.Performed) / secs
+	}
+	return st
+}

@@ -1,0 +1,270 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// exactlyOnce tracks per-job execution counts and summarizes violations.
+type exactlyOnce struct {
+	counts []atomic.Int32
+}
+
+func newExactlyOnce(n int) *exactlyOnce {
+	return &exactlyOnce{counts: make([]atomic.Int32, n)}
+}
+
+func (e *exactlyOnce) job(i int) Job {
+	return func() { e.counts[i].Add(1) }
+}
+
+func (e *exactlyOnce) verify(t *testing.T) {
+	t.Helper()
+	lost, dup := 0, 0
+	for i := range e.counts {
+		switch c := e.counts[i].Load(); {
+		case c == 0:
+			lost++
+		case c > 1:
+			dup++
+		}
+	}
+	if lost != 0 || dup != 0 {
+		t.Fatalf("%d jobs lost, %d jobs executed more than once", lost, dup)
+	}
+}
+
+// TestDispatcherCarryoverProperty is the round-carryover property test: a
+// stream of jobs pushed through small rounds with jitter and persistent
+// crash injection must finish with every job performed exactly once —
+// nothing lost to the per-round effectiveness tail, nothing duplicated
+// across the round boundary. Run under -race in CI.
+func TestDispatcherCarryoverProperty(t *testing.T) {
+	const jobs = 8000
+	crashRounds := 12
+	d, err := New(Config{
+		Shards:   4,
+		Workers:  3,
+		MaxBatch: 64, // force many rounds and much carryover
+		Jitter:   true,
+		Seed:     1,
+		CrashPlan: func(shard, round int) []uint64 {
+			if round >= crashRounds {
+				return nil
+			}
+			// Workers 1 and 2 crash at staggered, round-varying points;
+			// worker 0 always survives.
+			return []uint64{0, uint64(40 + 13*round + 7*shard), uint64(90 + 5*round)}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	eo := newExactlyOnce(jobs)
+	for i := 0; i < jobs; i++ {
+		if i%3 == 0 {
+			if _, err := d.Submit(eo.job(i)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Mix in small batches to cover both submission paths.
+		batch := []Job{eo.job(i)}
+		for i+1 < jobs && len(batch) < 5 && (i+1)%3 != 0 {
+			i++
+			batch = append(batch, eo.job(i))
+		}
+		if _, err := d.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	eo.verify(t)
+
+	st := d.Stats()
+	if st.Performed != jobs {
+		t.Fatalf("performed %d of %d", st.Performed, jobs)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending %d after Flush", st.Pending)
+	}
+	if st.Duplicates != 0 {
+		t.Fatalf("stats report %d duplicates", st.Duplicates)
+	}
+	if st.Crashes == 0 {
+		t.Fatal("crash plan injected no crashes; test lost its teeth")
+	}
+	if st.Residue == 0 {
+		t.Fatal("no residue was ever carried over; test lost its teeth")
+	}
+}
+
+// TestDispatcherE2EStream is the acceptance end-to-end run: 100k jobs
+// through 4 shards with crash injection, zero duplicates, zero lost jobs.
+func TestDispatcherE2EStream(t *testing.T) {
+	const jobs = 100_000
+	d, err := New(Config{
+		Shards:   4,
+		Workers:  4,
+		MaxBatch: 512,
+		Seed:     2,
+		CrashPlan: func(shard, round int) []uint64 {
+			if round >= 25 {
+				return nil
+			}
+			return []uint64{0, 300, uint64(500 + 31*round), 0}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	eo := newExactlyOnce(jobs)
+	const chunk = 1000
+	fns := make([]Job, 0, chunk)
+	for base := 0; base < jobs; base += chunk {
+		fns = fns[:0]
+		for i := base; i < base+chunk; i++ {
+			fns = append(fns, eo.job(i))
+		}
+		if _, err := d.SubmitBatch(fns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	eo.verify(t)
+
+	st := d.Stats()
+	if st.Performed != jobs || st.Duplicates != 0 {
+		t.Fatalf("performed %d, duplicates %d", st.Performed, st.Duplicates)
+	}
+	if st.Crashes == 0 {
+		t.Fatal("no crashes injected")
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("%d shard stats, want 4", len(st.Shards))
+	}
+	for i, sh := range st.Shards {
+		if sh.Rounds == 0 || sh.Performed == 0 {
+			t.Fatalf("shard %d idle: %+v", i, sh)
+		}
+	}
+}
+
+// TestDispatcherTrickle drives batches smaller than the worker count, so
+// every round needs padding, and interleaves Flushes with submissions.
+func TestDispatcherTrickle(t *testing.T) {
+	const jobs = 200
+	d, err := New(Config{Shards: 2, Workers: 8, MaxBatch: 32, Jitter: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	eo := newExactlyOnce(jobs)
+	for i := 0; i < jobs; i++ {
+		if _, err := d.Submit(eo.job(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%37 == 0 {
+			d.Flush()
+		}
+	}
+	d.Flush()
+	eo.verify(t)
+}
+
+// TestDispatcherCloseDrains checks Close completes pending work before
+// stopping and that the dispatcher rejects submissions afterwards.
+func TestDispatcherCloseDrains(t *testing.T) {
+	const jobs = 3000
+	d, err := New(Config{Shards: 2, Workers: 4, MaxBatch: 128, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := newExactlyOnce(jobs)
+	for i := 0; i < jobs; i++ {
+		if _, err := d.Submit(eo.job(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eo.verify(t)
+	if _, err := d.Submit(func() {}); err != ErrClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.SubmitBatch([]Job{func() {}}); err != ErrClosed {
+		t.Fatalf("SubmitBatch after Close: err = %v, want ErrClosed", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestDispatcherIDs checks id assignment: sequential for Submit, a
+// contiguous block for SubmitBatch.
+func TestDispatcherIDs(t *testing.T) {
+	d, err := New(Config{Shards: 3, Workers: 2, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id1, err := d.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := d.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1+1 {
+		t.Fatalf("ids %d, %d not sequential", id1, id2)
+	}
+	first, err := d.SubmitBatch([]Job{func() {}, func() {}, func() {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != id2+1 {
+		t.Fatalf("batch first id %d, want %d", first, id2+1)
+	}
+	next, err := d.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != first+3 {
+		t.Fatalf("post-batch id %d, want %d", next, first+3)
+	}
+}
+
+func TestRingDeque(t *testing.T) {
+	var r ring
+	for i := 1; i <= 40; i++ {
+		r.pushBack(entry{id: uint64(i)})
+	}
+	r.pushFront(entry{id: 0})
+	for want := uint64(0); want <= 40; want++ {
+		if got := r.popFront().id; got != want {
+			t.Fatalf("popFront = %d, want %d", got, want)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len = %d after drain", r.len())
+	}
+	// Wrap-around: interleave front/back pushes against pops.
+	for i := 0; i < 100; i++ {
+		r.pushBack(entry{id: uint64(i)})
+		r.pushFront(entry{id: uint64(1000 + i)})
+		if got := r.popFront().id; got != uint64(1000+i) {
+			t.Fatalf("iteration %d: popFront = %d", i, got)
+		}
+	}
+	for want := uint64(0); want < 100; want++ {
+		if got := r.popFront().id; got != want {
+			t.Fatalf("popFront = %d, want %d", got, want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package dispatch
+
+// entry is one queued job: its dispatcher-wide id and its payload.
+type entry struct {
+	id uint64
+	fn Job
+}
+
+// ring is a growable double-ended queue of entries. Residue carried over
+// from a round is pushed back at the FRONT so old jobs keep their place in
+// line ahead of newly submitted ones. Capacity is retained across rounds,
+// so a steady-state workload enqueues and dequeues without allocating.
+type ring struct {
+	buf  []entry
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) grow() {
+	c := len(r.buf) * 2
+	if c < 16 {
+		c = 16
+	}
+	nb := make([]entry, c)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *ring) pushBack(e entry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+func (r *ring) pushFront(e entry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = e
+	r.n++
+}
+
+func (r *ring) popFront() entry {
+	e := r.buf[r.head]
+	r.buf[r.head] = entry{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}

@@ -1,0 +1,196 @@
+package dispatch
+
+import (
+	"sync"
+
+	"atmostonce/internal/conc"
+)
+
+// shard is one independent KKβ instance: a persistent worker pool, a
+// pending-job deque and the loop that cuts rounds. The loop goroutine is
+// the only round orchestrator, so everything it touches between rounds
+// (batch, runtime) needs no lock; the deque and stats are shared with
+// Submit/Stats and guarded by mu.
+type shard struct {
+	d  *Dispatcher
+	id int
+	m  int
+	rt *conc.Runtime
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      ring
+	closed bool
+	stats  ShardStats
+
+	// batch holds the jobs of the round in flight, indexed by local job id
+	// minus one; slots past the real batch are zero (round padding). Only
+	// the loop goroutine and — during a round — the pool workers read it.
+	batch  []entry
+	lastK  int
+	execFn func(worker, local int)
+	done   chan struct{}
+}
+
+func newShard(d *Dispatcher, id int) (*shard, error) {
+	rt, err := conc.NewRuntime(conc.RuntimeOptions{
+		M:        d.cfg.Workers,
+		Capacity: d.cfg.MaxBatch,
+		Beta:     d.cfg.Beta,
+		Jitter:   d.cfg.Jitter,
+		Seed:     d.cfg.Seed + int64(id)*1_000_003,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &shard{
+		d:     d,
+		id:    id,
+		m:     d.cfg.Workers,
+		rt:    rt,
+		batch: make([]entry, d.cfg.MaxBatch),
+		done:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.execFn = s.exec
+	return s, nil
+}
+
+// exec is the round payload: local job ids map to batch slots; padding
+// slots carry no payload.
+func (s *shard) exec(worker, local int) {
+	if fn := s.batch[local-1].fn; fn != nil {
+		fn()
+	}
+}
+
+// enqueue and enqueueBatch are only reachable while the dispatcher's
+// closeMu barrier guarantees the shard loop is still running (Close waits
+// for in-flight submitters before stopping shards), so enqueued jobs are
+// always drained.
+func (s *shard) enqueue(e entry) {
+	s.mu.Lock()
+	s.q.pushBack(e)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *shard) enqueueBatch(firstID uint64, fns []Job) {
+	s.mu.Lock()
+	for i, fn := range fns {
+		s.q.pushBack(entry{id: firstID + uint64(i), fn: fn})
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// stop marks the shard closed and wakes the loop so it can drain and exit.
+func (s *shard) stop() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// loop is the shard's round engine: cut a batch off the deque, execute it
+// as one KKβ round (padded up to m when the batch is short), push the
+// unperformed residue back onto the FRONT of the deque, repeat. On close
+// it drains the deque — including residue — before exiting.
+func (s *shard) loop() {
+	defer close(s.done)
+	for {
+		n := s.takeBatch()
+		if n == 0 {
+			return
+		}
+		k := n
+		if k < s.m {
+			k = s.m // KKβ needs n ≥ m; slots n..k-1 are no-op padding
+		}
+		round := int(s.stats.Rounds)
+		res, err := s.rt.RunRound(k, s.execFn, s.crashVector(round))
+		if err != nil {
+			// Unreachable: k and the crash vector are validated here.
+			panic("dispatch: " + err.Error())
+		}
+		performed := s.finishRound(n, res)
+		s.d.jobsDone(performed)
+	}
+}
+
+// takeBatch blocks until jobs are pending (or the shard is closed and
+// drained), then moves up to MaxBatch of them into the batch buffer. It
+// returns the number of real jobs taken; 0 means exit.
+func (s *shard) takeBatch() int {
+	s.mu.Lock()
+	for s.q.len() == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	n := s.q.len()
+	if n == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	if n > len(s.batch) {
+		n = len(s.batch)
+	}
+	for i := 0; i < n; i++ {
+		s.batch[i] = s.q.popFront()
+	}
+	s.mu.Unlock()
+	// Clear the slots the previous round used beyond this batch, so stale
+	// payloads can never be reached through padding ids.
+	for i := n; i < s.lastK; i++ {
+		s.batch[i] = entry{}
+	}
+	s.lastK = n
+	if s.lastK < s.m {
+		s.lastK = s.m
+	}
+	return n
+}
+
+// crashVector asks the configured plan for this round's crash injection
+// and sanitizes it (length m, at least one survivor).
+func (s *shard) crashVector(round int) []uint64 {
+	plan := s.d.cfg.CrashPlan
+	if plan == nil {
+		return nil
+	}
+	v := plan(s.id, round)
+	if len(v) != s.m {
+		return nil
+	}
+	for _, c := range v {
+		if c == 0 {
+			return v
+		}
+	}
+	return nil
+}
+
+// finishRound requeues the real residue at the front of the deque and
+// folds the round into the shard stats. It returns the number of real
+// jobs performed this round.
+func (s *shard) finishRound(n int, res *conc.RoundResult) int {
+	s.mu.Lock()
+	requeued := 0
+	for i := len(res.Unperformed) - 1; i >= 0; i-- {
+		if local := res.Unperformed[i]; local <= n {
+			s.q.pushFront(s.batch[local-1])
+			requeued++
+		}
+	}
+	performed := n - requeued
+	s.stats.Rounds++
+	s.stats.Performed += uint64(performed)
+	s.stats.Residue += uint64(requeued)
+	s.stats.Duplicates += uint64(res.Duplicates)
+	s.stats.Crashes += uint64(res.Crashed)
+	s.stats.Steps += res.Steps
+	s.stats.Work += res.Work
+	s.stats.LastBatch = n
+	s.stats.LastPerformed = performed
+	s.mu.Unlock()
+	return performed
+}

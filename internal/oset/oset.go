@@ -24,9 +24,18 @@ type node struct {
 
 // Set is an ordered set of ints with order-statistic queries.
 // The zero value is not usable; call New.
+//
+// Removed nodes are kept on an internal free list and reused by later
+// insertions, so a set that is repeatedly filled and cleared to a similar
+// size reaches a steady state where no operation allocates. The round-based
+// runtime (internal/conc, internal/dispatch) relies on this to keep its
+// per-round hot path allocation-free.
 type Set struct {
-	root *node
-	nil_ *node // sentinel leaf (black)
+	root    *node
+	nil_    *node // sentinel leaf (black)
+	free    *node // recycled nodes, linked through right
+	nfree   int   // length of the free list
+	scratch []int // SelectExcluding's reusable exclusion snapshot
 }
 
 // New returns an empty set. If keys are given they are inserted.
@@ -43,10 +52,20 @@ func New(keys ...int) *Set {
 // in O(hi-lo+1) without per-key rebalancing, which matters when
 // initializing FREE = J for large n.
 func NewRange(lo, hi int) *Set {
-	sentinel := &node{color: black}
-	s := &Set{root: sentinel, nil_: sentinel}
+	s := New()
+	s.ResetRange(lo, hi)
+	return s
+}
+
+// ResetRange clears the set and refills it with {lo, lo+1, ..., hi},
+// reusing the recycled nodes. After one warm-up fill at a given size, the
+// call allocates nothing — the property Proc.Reset depends on to restart a
+// round without touching the heap. lo > hi leaves the set empty.
+func (s *Set) ResetRange(lo, hi int) {
+	s.recycle(s.root)
+	s.root = s.nil_
 	if lo > hi {
-		return s
+		return
 	}
 	count := hi - lo + 1
 	// A mid-split tree of size c has every sentinel at depth H-1 or H,
@@ -57,7 +76,6 @@ func NewRange(lo, hi int) *Set {
 	maxDepth := ceilLog2(count+1) - 1
 	s.root = s.buildBalanced(lo, hi, s.nil_, 0, maxDepth)
 	s.root.color = black // a single-node tree would otherwise have a red root
-	return s
 }
 
 func (s *Set) buildBalanced(lo, hi int, parent *node, depth, redDepth int) *node {
@@ -65,13 +83,70 @@ func (s *Set) buildBalanced(lo, hi int, parent *node, depth, redDepth int) *node
 		return s.nil_
 	}
 	mid := lo + (hi-lo)/2
-	n := &node{key: mid, size: hi - lo + 1, color: black, parent: parent}
+	n := s.newNode(mid)
+	n.size = hi - lo + 1
+	n.color = black
+	n.parent = parent
 	if depth == redDepth {
 		n.color = red
 	}
 	n.left = s.buildBalanced(lo, mid-1, n, depth+1, redDepth)
 	n.right = s.buildBalanced(mid+1, hi, n, depth+1, redDepth)
 	return n
+}
+
+// newNode pops a recycled node (or allocates one) and initializes it as a
+// red leaf with the given key.
+func (s *Set) newNode(key int) *node {
+	n := s.free
+	if n == nil {
+		n = &node{}
+	} else {
+		s.free = n.right
+		s.nfree--
+	}
+	n.key = key
+	n.size = 1
+	n.color = red
+	n.left = s.nil_
+	n.right = s.nil_
+	n.parent = nil
+	return n
+}
+
+// recycle pushes the subtree rooted at x onto the free list.
+func (s *Set) recycle(x *node) {
+	if x == s.nil_ {
+		return
+	}
+	s.recycle(x.left)
+	s.recycle(x.right)
+	s.recycleOne(x)
+}
+
+// recycleOne pushes a single detached node onto the free list.
+func (s *Set) recycleOne(x *node) {
+	x.left, x.parent = nil, nil
+	x.right = s.free
+	s.free = x
+	s.nfree++
+}
+
+// Reserve grows the node pool so the set can hold at least n elements
+// without any further allocation — the prewarming step that makes a
+// fill/clear cycle deterministically allocation-free from the first round.
+func (s *Set) Reserve(n int) {
+	for s.root.size+s.nfree < n {
+		s.recycleOne(&node{})
+	}
+}
+
+// ReserveSelectScratch pre-sizes the scratch buffer SelectExcluding uses,
+// so calls with exclusion sets of up to n elements never allocate.
+func (s *Set) ReserveSelectScratch(n int) {
+	if cap(s.scratch) < n {
+		s.scratch = make([]int, 0, n)
+	}
 }
 
 // ceilLog2 returns ceil(log2(v)) for v ≥ 1.
@@ -148,7 +223,8 @@ func (s *Set) Insert(v int) bool {
 			return false // already present
 		}
 	}
-	z := &node{key: v, size: 1, color: red, left: s.nil_, right: s.nil_, parent: y}
+	z := s.newNode(v)
+	z.parent = y
 	switch {
 	case y == s.nil_:
 		s.root = z
@@ -221,14 +297,18 @@ func (s *Set) SelectExcluding(excl *Set, i int) (v int, ok bool) {
 	if i < 1 {
 		return 0, false
 	}
-	// Gather the exclusions that are actually present in s, in order.
-	present := make([]int, 0, excl.Len())
+	// Gather the exclusions that are actually present in s, in order. The
+	// snapshot lives in a scratch buffer reused across calls, so a set
+	// whose exclusion sizes have stabilized performs this without
+	// allocating (see ReserveSelectScratch).
+	present := s.scratch[:0]
 	excl.Ascend(func(e int) bool {
 		if s.Contains(e) {
 			present = append(present, e)
 		}
 		return true
 	})
+	s.scratch = present[:0]
 	if s.Len()-len(present) < i {
 		return 0, false
 	}
@@ -308,8 +388,9 @@ func (c *Set) cloneNode(src *Set, x *node, parent *node) *node {
 	return n
 }
 
-// Clear removes all elements.
+// Clear removes all elements. The nodes are recycled for later insertions.
 func (s *Set) Clear() {
+	s.recycle(s.root)
 	s.root = s.nil_
 }
 
@@ -449,6 +530,9 @@ func (s *Set) deleteNode(z *node) {
 	if yOrigColor == black {
 		s.deleteFixup(x)
 	}
+	// z is detached from the tree in every case above (in the two-child
+	// case y takes z's place, structurally removing z).
+	s.recycleOne(z)
 }
 
 // decrementSizes walks from p to the root decrementing subtree sizes to
