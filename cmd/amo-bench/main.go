@@ -5,11 +5,15 @@
 //
 // With -throughput it instead benchmarks the streaming Dispatcher,
 // sweeping shards × workers × batch size and reporting jobs/sec.
+// -backend selects the register backend (atomic, mmap[:PATH],
+// counting:SPEC — see internal/membackend), so the cost of durable
+// journaling is measurable; -json emits the sweep as one JSON document
+// for bench trajectories (BENCH_*.json).
 //
 // Usage:
 //
 //	amo-bench [-quick] [-only E3]
-//	amo-bench -throughput [-quick]
+//	amo-bench -throughput [-quick] [-backend mmap] [-json]
 package main
 
 import (
@@ -34,11 +38,16 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "run reduced sweeps")
 	only := fs.String("only", "", "run a single experiment (E1..E9)")
 	throughput := fs.Bool("throughput", false, "benchmark the streaming dispatcher instead of the E1-E9 suite")
+	backend := fs.String("backend", "atomic", "register backend for -throughput: atomic, mmap[:PATH] or any membackend spec")
+	asJSON := fs.Bool("json", false, "emit the -throughput sweep as JSON instead of Markdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *throughput {
-		return runThroughput(*quick)
+		return runThroughput(*quick, *asJSON, *backend)
+	}
+	if *asJSON || *backend != "atomic" {
+		return fmt.Errorf("-json and -backend only apply to -throughput")
 	}
 	s := harness.Suite{Quick: *quick}
 	experiments := map[string]func() *harness.Table{

@@ -1,23 +1,50 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"atmostonce"
+	"atmostonce/internal/membackend"
 )
 
 // throughputShape is one sweep point of the streaming benchmark.
 type throughputShape struct {
-	Shards, Workers, Batch int
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	Batch   int `json:"batch"`
+}
+
+// throughputResult is one measured sweep point, stable across PRs so
+// bench trajectories (BENCH_*.json) can be diffed mechanically.
+type throughputResult struct {
+	throughputShape
+	Rounds     uint64  `json:"rounds"`
+	Residue    uint64  `json:"residue"`
+	Crashes    uint64  `json:"crashes"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// throughputReport is the -json document.
+type throughputReport struct {
+	Mode    string             `json:"mode"`
+	Jobs    int                `json:"jobs"`
+	Backend string             `json:"backend"`
+	Results []throughputResult `json:"results"`
 }
 
 // runThroughput streams a fixed job count through the Dispatcher at each
-// shards × workers × batch shape and prints a Markdown jobs/sec table. The
-// payload is a single atomic increment, so the numbers measure engine
-// overhead: round cutting, KKβ coordination and residue carry-over.
-func runThroughput(quick bool) error {
+// shards × workers × batch shape and reports jobs/sec — as a Markdown
+// table, or as one JSON document with -json. The payload is a single
+// atomic increment, so the numbers measure engine overhead: round
+// cutting, KKβ coordination, residue carry-over and (with -backend
+// mmap) the durable journal writes.
+func runThroughput(quick, asJSON bool, backend string) error {
 	jobs := 200_000
 	shapes := []throughputShape{
 		{1, 2, 256}, {1, 4, 1024},
@@ -29,28 +56,79 @@ func runThroughput(quick bool) error {
 		shapes = shapes[:4]
 	}
 
-	fmt.Printf("# Streaming dispatcher throughput (%s mode)\n\n", mode(quick))
-	fmt.Printf("%d jobs per shape; payload = one atomic increment.\n\n", jobs)
-	fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec |")
-	fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|")
-	for _, sh := range shapes {
-		st, err := streamOnce(sh, jobs)
+	// A pathless "mmap" terminal ("mmap", "counting:mmap") benches
+	// against throwaway register files.
+	cleanup := func() {}
+	if backend == "mmap" || strings.HasSuffix(backend, ":mmap") {
+		dir, err := os.MkdirTemp("", "amo-bench-*")
 		if err != nil {
 			return err
 		}
-		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f |\n",
-			sh.Shards, sh.Workers, sh.Batch, st.Rounds, st.Residue, st.Crashes, st.JobsPerSec)
+		cleanup = func() { os.RemoveAll(dir) }
+		backend += ":" + filepath.Join(dir, "regs")
+	}
+	defer cleanup()
+
+	report := throughputReport{Mode: mode(quick), Jobs: jobs, Backend: backendLabel(backend)}
+	if !asJSON {
+		fmt.Printf("# Streaming dispatcher throughput (%s mode, %s backend)\n\n", report.Mode, report.Backend)
+		fmt.Printf("%d jobs per shape; payload = one atomic increment.\n\n", jobs)
+		fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec |")
+		fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|")
+	}
+	for i, sh := range shapes {
+		st, err := streamOnce(sh, jobs, shapeSpec(backend, i))
+		if err != nil {
+			return err
+		}
+		res := throughputResult{
+			throughputShape: sh,
+			Rounds:          st.Rounds,
+			Residue:         st.Residue,
+			Crashes:         st.Crashes,
+			JobsPerSec:      st.JobsPerSec,
+		}
+		report.Results = append(report.Results, res)
+		if !asJSON {
+			fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f |\n",
+				sh.Shards, sh.Workers, sh.Batch, res.Rounds, res.Residue, res.Crashes, res.JobsPerSec)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	fmt.Println()
 	return nil
 }
 
-func streamOnce(sh throughputShape, jobs int) (atmostonce.DispatcherStats, error) {
+// shapeSpec gives every sweep point its own register files: a durable
+// backend refuses to reopen files written under a different shape.
+// Specs without a path (atomic, counting:atomic) pass through.
+func shapeSpec(backend string, i int) string {
+	return membackend.WithSuffix(backend, fmt.Sprintf(".shape%d", i))
+}
+
+// backendLabel strips the throwaway temp path from the report.
+func backendLabel(backend string) string {
+	if backend == "" {
+		return "atomic"
+	}
+	if i := strings.Index(backend, "mmap:"); i >= 0 {
+		return backend[:i+4]
+	}
+	return backend
+}
+
+func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.DispatcherStats, error) {
 	var zero atmostonce.DispatcherStats
 	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
 		Shards:          sh.Shards,
 		WorkersPerShard: sh.Workers,
 		MaxBatch:        sh.Batch,
+		Backend:         backend,
+		MaxJobs:         jobs,
 	})
 	if err != nil {
 		return zero, err

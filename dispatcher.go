@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"atmostonce/internal/dispatch"
+	"atmostonce/internal/membackend"
 )
 
 // DispatcherConfig configures a streaming Dispatcher.
@@ -30,6 +31,25 @@ type DispatcherConfig struct {
 	// Crashed workers revive on the shard's next round, and the jobs their
 	// crash left unperformed are carried into it.
 	CrashPlan func(shard, round int) []uint64
+	// Backend selects the register backend by membackend spec. "" or
+	// "atomic" is the in-process default. "mmap:PATH" makes the
+	// dispatcher durable: shard s maps the register file "PATH.shard<s>",
+	// and at-most-once state survives process death — NewDispatcher over
+	// existing files recovers the performed-job journal, and a client
+	// that re-submits the same job stream in the same order has each
+	// already-performed job resolve instantly instead of running twice
+	// (see examples/recover). "counting:SPEC" wraps any backend with
+	// access counting. Durable backends require MaxJobs.
+	Backend string
+	// MaxJobs bounds the distinct job ids a durable dispatcher may
+	// assign over the lifetime of its register files (across restarts);
+	// it sizes the on-disk journal, and Submit fails once it is
+	// exhausted. Required when Backend is durable or wrapped; ignored for
+	// the in-process default.
+	MaxJobs int
+	// Expvar publishes the dispatcher's Stats via the expvar package
+	// (ExpvarName returns the variable name) for /debug/vars scraping.
+	Expvar bool
 }
 
 // Dispatcher executes a continuous stream of jobs with at-most-once
@@ -40,6 +60,12 @@ type DispatcherConfig struct {
 // long as the dispatcher runs, exactly once; the per-round effectiveness
 // tail of ≤ β+m−2 jobs is deferred, never lost.
 //
+// With a durable Backend ("mmap:PATH") at-most-once extends across
+// process death: performed jobs are journaled in the register file
+// before their payload runs, and a restarted dispatcher over the same
+// files recovers the journal and skips those jobs when the stream is
+// re-submitted. See examples/recover.
+//
 // All methods are safe for concurrent use. See examples/stream.
 type Dispatcher struct {
 	d *dispatch.Dispatcher
@@ -48,7 +74,7 @@ type Dispatcher struct {
 // NewDispatcher starts a dispatcher; Close must be called to release its
 // worker pools.
 func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
-	d, err := dispatch.New(dispatch.Config{
+	dcfg := dispatch.Config{
 		Shards:    cfg.Shards,
 		Workers:   cfg.WorkersPerShard,
 		Beta:      cfg.Beta,
@@ -56,7 +82,16 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 		Jitter:    cfg.Jitter,
 		Seed:      cfg.Seed,
 		CrashPlan: cfg.CrashPlan,
-	})
+		Expvar:    cfg.Expvar,
+	}
+	if cfg.Backend != "" && cfg.Backend != "atomic" {
+		spec := cfg.Backend
+		dcfg.NewMem = func(shard, size int) (membackend.Backend, error) {
+			return membackend.Open(membackend.ShardSpec(spec, shard), size)
+		}
+		dcfg.MaxJobs = cfg.MaxJobs
+	}
+	d, err := dispatch.New(dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -85,9 +120,18 @@ func (d *Dispatcher) SubmitBatch(fns []func()) (uint64, error) {
 // including residue carried across rounds.
 func (d *Dispatcher) Flush() { d.d.Flush() }
 
-// Close drains pending jobs, stops the shards and releases the pools.
-// Subsequent Submits fail. Close is idempotent.
+// Close drains pending jobs, stops the shards and releases the pools;
+// durable backends are synced and closed. Subsequent Submits fail.
+// Close is idempotent.
 func (d *Dispatcher) Close() error { return d.d.Close() }
+
+// Sync flushes durable register backends to stable storage. It is a
+// no-op for in-process dispatchers and safe to call while rounds run.
+func (d *Dispatcher) Sync() error { return d.d.Sync() }
+
+// ExpvarName returns the name Stats is published under when
+// DispatcherConfig.Expvar is set, and "" otherwise.
+func (d *Dispatcher) ExpvarName() string { return d.d.ExpvarName() }
 
 // Stats returns a point-in-time snapshot of dispatcher progress.
 func (d *Dispatcher) Stats() DispatcherStats {
@@ -96,6 +140,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Submitted:  st.Submitted,
 		Performed:  st.Performed,
 		Pending:    st.Pending,
+		Recovered:  st.Recovered,
 		Rounds:     st.Rounds,
 		Residue:    st.Residue,
 		Duplicates: st.Duplicates,
@@ -125,8 +170,10 @@ func (d *Dispatcher) Stats() DispatcherStats {
 // DispatcherStats snapshots dispatcher progress counters.
 type DispatcherStats struct {
 	// Submitted, Performed and Pending count jobs end to end; Pending jobs
-	// are queued or in flight.
-	Submitted, Performed, Pending uint64
+	// are queued or in flight. Recovered counts re-submitted jobs that
+	// resolved from a previous incarnation's durable journal without
+	// re-running (included in Performed).
+	Submitted, Performed, Pending, Recovered uint64
 	// Rounds is the number of executed rounds across all shards; Residue
 	// counts jobs that were carried from one round to a later one (each
 	// carry counts once). Duplicates is always 0 — it is reported so

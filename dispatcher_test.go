@@ -1,6 +1,8 @@
 package atmostonce
 
 import (
+	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -102,5 +104,77 @@ func TestDispatcherDefaults(t *testing.T) {
 	}
 	if ran.Load() != 1 {
 		t.Fatalf("job ran %d times", ran.Load())
+	}
+}
+
+// TestDispatcherDurableBackend drives the public durable configuration:
+// a dispatcher over "mmap:" register files performs a stream, closes
+// cleanly, and a second dispatcher over the same files resolves the
+// whole re-submitted stream from the journal without running a single
+// payload again. (The crash path — a killed process rather than a clean
+// Close — is exercised by internal/dispatch's recovery tests and by
+// examples/recover.)
+func TestDispatcherDurableBackend(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("mmap backend requires linux")
+	}
+	const jobs = 500
+	cfg := DispatcherConfig{
+		Shards:          2,
+		WorkersPerShard: 2,
+		MaxBatch:        64,
+		Backend:         "counting:mmap:" + filepath.Join(t.TempDir(), "regs"),
+		MaxJobs:         jobs,
+		Expvar:          true,
+	}
+	var runs atomic.Int64
+	fns := make([]func(), jobs)
+	for i := range fns {
+		fns[i] = func() { runs.Add(1) }
+	}
+
+	d1, err := NewDispatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.ExpvarName() == "" {
+		t.Error("Expvar requested but ExpvarName is empty")
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d1.Flush()
+	if err := d1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := d1.Stats(); st.Recovered != 0 || st.Performed != jobs {
+		t.Fatalf("first incarnation: %+v", st)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != jobs {
+		t.Fatalf("ran %d payloads, want %d", got, jobs)
+	}
+
+	d2, err := NewDispatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	if got := runs.Load(); got != jobs {
+		t.Fatalf("restart re-ran payloads: %d total, want %d", got, jobs)
+	}
+	if st := d2.Stats(); st.Recovered != jobs || st.Duplicates != 0 {
+		t.Fatalf("restart stats: %+v", st)
+	}
+
+	// An unknown backend spec surfaces as a constructor error.
+	if _, err := NewDispatcher(DispatcherConfig{Backend: "bogus:x", MaxJobs: 1}); err == nil {
+		t.Fatal("unknown backend spec accepted")
 	}
 }

@@ -27,6 +27,18 @@ type RuntimeOptions struct {
 	// worker.
 	Jitter bool
 	Seed   int64
+	// Mem, when non-nil, supplies the register backend instead of a fresh
+	// in-process AtomicMem — e.g. a durable membackend.MmapMem so register
+	// state survives the process. It must hold at least
+	// MemBase + Layout{M, RowLen: Capacity}.Size() cells, and the cells in
+	// that window must read zero when the first round starts (a recovering
+	// caller re-zeroes them). Reads and writes must be per-cell atomic and
+	// safe for concurrent use.
+	Mem shmem.Mem
+	// MemBase offsets the runtime's register layout within Mem, so a
+	// caller can co-locate its own durable state (journals, metadata) in
+	// the same register file. Only meaningful with Mem.
+	MemBase int
 }
 
 // RoundResult reports one executed round. The struct and its Unperformed
@@ -52,7 +64,9 @@ type RoundResult struct {
 }
 
 // Runtime is a persistent worker pool executing plain KKβ rounds: m
-// long-lived goroutines over one reusable AtomicMem register file. Where
+// long-lived goroutines over one reusable register file — an in-process
+// AtomicMem by default, or any shmem.Mem backend supplied via
+// RuntimeOptions.Mem (see internal/membackend). Where
 // Run spawns goroutines and allocates shared memory per call, a Runtime is
 // built once and executes any number of rounds; between rounds it re-zeroes
 // only the registers the previous round dirtied and resets the warm
@@ -68,7 +82,7 @@ type Runtime struct {
 	jitter bool
 	seed   int64
 
-	mem   *shmem.AtomicMem
+	mem   shmem.Mem
 	lay   core.Layout
 	procs []*core.Proc
 	logs  []*eventLog
@@ -101,12 +115,26 @@ func NewRuntime(o RuntimeOptions) (*Runtime, error) {
 		cap:         o.Capacity,
 		jitter:      o.Jitter,
 		seed:        o.Seed,
-		lay:         core.Layout{M: o.M, RowLen: o.Capacity},
+		lay:         core.Layout{Base: o.MemBase, M: o.M, RowLen: o.Capacity},
 		steps:       make([]uint64, o.M),
 		stamp:       make([]uint64, o.Capacity+1),
 		unperformed: make([]int, 0, o.Capacity),
 	}
-	r.mem = shmem.NewAtomic(r.lay.Size())
+	if o.Mem != nil {
+		if o.MemBase < 0 {
+			return nil, fmt.Errorf("%w: negative MemBase %d", errValidate, o.MemBase)
+		}
+		if need := o.MemBase + r.lay.Size(); o.Mem.Size() < need {
+			return nil, fmt.Errorf("%w: backend holds %d cells, need %d (base %d + layout %d)",
+				errValidate, o.Mem.Size(), need, o.MemBase, r.lay.Size())
+		}
+		r.mem = o.Mem
+	} else {
+		if o.MemBase != 0 {
+			return nil, fmt.Errorf("%w: MemBase without Mem", errValidate)
+		}
+		r.mem = shmem.NewAtomic(r.lay.Size())
+	}
 	r.procs = make([]*core.Proc, o.M)
 	r.logs = make([]*eventLog, o.M)
 	r.start = make([]chan struct{}, o.M)

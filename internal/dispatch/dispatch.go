@@ -17,10 +17,13 @@ package dispatch
 
 import (
 	"errors"
+	"expvar"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"atmostonce/internal/membackend"
 )
 
 // Job is a unit of user work. The dispatcher invokes it at most once,
@@ -53,7 +56,36 @@ type Config struct {
 	// ignored. This is the fault-injection hook used by the chaos tests;
 	// a plan that crashes workers on every round forever can starve Flush.
 	CrashPlan func(shard, round int) []uint64
+	// NewMem, when non-nil, supplies each shard's register backend
+	// (internal/membackend) instead of in-process atomic memory. The
+	// factory is called once per shard with the number of cells the shard
+	// needs; durable backends (mmap) make the dispatcher crash
+	// recoverable — see Recovery below. Requires MaxJobs.
+	NewMem func(shard, size int) (membackend.Backend, error)
+	// MaxJobs bounds the distinct job ids a backend-backed dispatcher may
+	// assign over the lifetime of its register files (across restarts):
+	// it sizes the durable journal rows, and Submit fails with
+	// ErrJournalFull beyond it. Required with NewMem, ignored without.
+	MaxJobs int
+	// Expvar publishes the dispatcher's Stats as an expvar variable
+	// ("atmostonce.dispatcher.<n>"; ExpvarName returns the exact name) so
+	// long-running deployments can scrape round/effectiveness/work
+	// counters from /debug/vars. The stdlib cannot unpublish a var, so
+	// after Close it keeps reporting the final snapshot.
+	Expvar bool
 }
+
+// Recovery. A dispatcher over durable backends journals every performed
+// job's id before running its payload (record-then-do: a crash can cost
+// effectiveness, never a duplicate — the paper's trade, Theorem 2.1).
+// When New finds existing register state, it scans the journals and
+// treats those ids as already performed. The contract is that the
+// client re-submits the same job stream in the same order after a
+// restart (ids are assigned by submission order, so determinism is the
+// client's responsibility); re-submitted jobs that were performed by a
+// previous incarnation resolve immediately without running their
+// payload, and everything else — including the residue the crash cut
+// off mid-round — runs exactly once. Stats.Recovered counts the skips.
 
 func (c *Config) normalize() error {
 	if c.Shards <= 0 {
@@ -71,11 +103,19 @@ func (c *Config) normalize() error {
 	if c.Beta < 0 {
 		return fmt.Errorf("dispatch: negative beta %d", c.Beta)
 	}
+	if c.NewMem != nil && c.MaxJobs <= 0 {
+		return fmt.Errorf("dispatch: NewMem requires MaxJobs > 0 (it sizes the durable journal)")
+	}
 	return nil
 }
 
 // ErrClosed is returned by Submit and SubmitBatch after Close.
 var ErrClosed = errors.New("dispatch: dispatcher is closed")
+
+// ErrJournalFull is returned by Submit and SubmitBatch when accepting
+// the jobs would assign ids beyond Config.MaxJobs, the capacity of the
+// durable journal rows.
+var ErrJournalFull = errors.New("dispatch: durable journal capacity exhausted (raise Config.MaxJobs)")
 
 // Dispatcher is a long-lived, sharded, round-based at-most-once engine.
 // All methods are safe for concurrent use.
@@ -88,6 +128,17 @@ type Dispatcher struct {
 	rr        atomic.Uint64 // round-robin shard cursor
 	submitted atomic.Uint64
 	performed atomic.Uint64
+
+	// Crash-recovery state: ids a previous incarnation's journals proved
+	// performed, consumed as the client re-submits the stream. recLeft
+	// lets the common case (nothing recovered, or already drained) skip
+	// the lock entirely.
+	recLeft    atomic.Int64
+	recMu      sync.Mutex
+	recovered  map[uint64]struct{}
+	recoveredN atomic.Uint64 // jobs resolved from the journal, for Stats
+
+	expvarName string
 
 	// closeMu makes submission all-or-nothing with respect to Close:
 	// submitters hold the read side across their closed-check and enqueue,
@@ -102,7 +153,9 @@ type Dispatcher struct {
 }
 
 // New builds the dispatcher and starts its S shard loops. Callers must
-// Close it to release the worker pools.
+// Close it to release the worker pools. Over durable backends that hold
+// state from a crashed incarnation, New performs the recovery scan (see
+// Recovery above) before any round runs.
 func New(cfg Config) (*Dispatcher, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -110,21 +163,55 @@ func New(cfg Config) (*Dispatcher, error) {
 	d := &Dispatcher{cfg: cfg, start: time.Now()}
 	d.cond = sync.NewCond(&d.mu)
 	d.shards = make([]*shard, cfg.Shards)
+	d.recovered = make(map[uint64]struct{})
 	for i := range d.shards {
-		s, err := newShard(d, i)
+		s, rec, err := newShard(d, i)
 		if err != nil {
 			for _, prev := range d.shards[:i] {
 				prev.stop()
 				prev.rt.Close()
+				prev.closeBackend()
 			}
 			return nil, err
 		}
 		d.shards[i] = s
+		for _, id := range rec {
+			d.recovered[id] = struct{}{}
+		}
+	}
+	d.recLeft.Store(int64(len(d.recovered)))
+	if cfg.Expvar {
+		d.expvarName = fmt.Sprintf("atmostonce.dispatcher.%d", expvarSeq.Add(1))
+		expvar.Publish(d.expvarName, expvar.Func(func() any { return d.Stats() }))
 	}
 	for _, s := range d.shards {
 		go s.loop()
 	}
 	return d, nil
+}
+
+// expvarSeq disambiguates the expvar names of successive dispatchers;
+// the stdlib forbids republishing a name.
+var expvarSeq atomic.Uint64
+
+// ExpvarName returns the name Stats is published under when
+// Config.Expvar is set, and "" otherwise.
+func (d *Dispatcher) ExpvarName() string { return d.expvarName }
+
+// resolveRecovered reports whether id was performed by a previous
+// incarnation (per the durable journal), consuming the entry.
+func (d *Dispatcher) resolveRecovered(id uint64) bool {
+	if d.recLeft.Load() == 0 {
+		return false
+	}
+	d.recMu.Lock()
+	_, ok := d.recovered[id]
+	if ok {
+		delete(d.recovered, id)
+		d.recLeft.Add(-1)
+	}
+	d.recMu.Unlock()
+	return ok
 }
 
 // Submit enqueues one job and returns its dispatcher-wide id. The job will
@@ -137,8 +224,19 @@ func (d *Dispatcher) Submit(fn Job) (uint64, error) {
 		return 0, ErrClosed
 	}
 	id := d.nextID.Add(1)
-	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
+	if d.cfg.NewMem != nil && id > uint64(d.cfg.MaxJobs) {
+		return 0, ErrJournalFull
+	}
 	d.submitted.Add(1)
+	if d.resolveRecovered(id) {
+		// A previous incarnation performed this job; resolve it without
+		// re-running the payload (the at-most-once guarantee across
+		// process death).
+		d.recoveredN.Add(1)
+		d.jobsDone(1)
+		return id, nil
+	}
+	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
 	s.enqueue(entry{id: id, fn: fn})
 	return id, nil
 }
@@ -147,7 +245,9 @@ func (d *Dispatcher) Submit(fn Job) (uint64, error) {
 // the batch gets the contiguous id block [first, first+len(fns)). Jobs are
 // spread across shards in contiguous chunks, one shard lock per chunk.
 // Acceptance is all-or-nothing: either every job is enqueued (and will be
-// performed) or the call fails with ErrClosed and none are.
+// performed) or the call fails — with ErrClosed, or with ErrJournalFull
+// when a durable batch would cross MaxJobs (the reserved ids are burned
+// either way) — and none are.
 func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 	if len(fns) == 0 {
 		return 0, nil
@@ -159,18 +259,51 @@ func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 	}
 	n := uint64(len(fns))
 	first := d.nextID.Add(n) - n + 1
+	if d.cfg.NewMem != nil && first+n-1 > uint64(d.cfg.MaxJobs) {
+		return 0, ErrJournalFull
+	}
 	d.submitted.Add(n)
+	if d.recLeft.Load() > 0 {
+		// Recovery is draining: filter out the jobs a previous
+		// incarnation already performed, then spread the rest.
+		pending := make([]entry, 0, len(fns))
+		skipped := 0
+		for i, fn := range fns {
+			id := first + uint64(i)
+			if d.resolveRecovered(id) {
+				skipped++
+			} else {
+				pending = append(pending, entry{id: id, fn: fn})
+			}
+		}
+		if skipped > 0 {
+			d.recoveredN.Add(uint64(skipped))
+			d.jobsDone(skipped)
+		}
+		d.spread(len(pending), func(s *shard, lo, hi int) {
+			s.enqueueEntries(pending[lo:hi])
+		})
+		return first, nil
+	}
+	d.spread(len(fns), func(s *shard, lo, hi int) {
+		s.enqueueBatch(first+uint64(lo), fns[lo:hi])
+	})
+	return first, nil
+}
+
+// spread partitions n queued items into contiguous chunks round-robined
+// across the shards, one enqueue call per non-empty chunk.
+func (d *Dispatcher) spread(n int, enq func(s *shard, lo, hi int)) {
 	S := len(d.shards)
 	base := int(d.rr.Add(uint64(S)) - uint64(S))
-	chunk := (len(fns) + S - 1) / S
-	for i := 0; i < S && i*chunk < len(fns); i++ {
+	chunk := (n + S - 1) / S
+	for i := 0; i < S && i*chunk < n; i++ {
 		lo, hi := i*chunk, (i+1)*chunk
-		if hi > len(fns) {
-			hi = len(fns)
+		if hi > n {
+			hi = n
 		}
-		d.shards[(base+i)%S].enqueueBatch(first+uint64(lo), fns[lo:hi])
+		enq(d.shards[(base+i)%S], lo, hi)
 	}
-	return first, nil
 }
 
 // Flush blocks until every job submitted so far has been performed — i.e.
@@ -186,8 +319,8 @@ func (d *Dispatcher) Flush() {
 }
 
 // Close drains all pending jobs, stops the shard loops and releases the
-// worker pools. Subsequent Submits fail with ErrClosed; Close is
-// idempotent.
+// worker pools; durable backends are synced and closed. Subsequent
+// Submits fail with ErrClosed; Close is idempotent.
 func (d *Dispatcher) Close() error {
 	if d.closed.Swap(true) {
 		return nil
@@ -202,10 +335,47 @@ func (d *Dispatcher) Close() error {
 	for _, s := range d.shards {
 		<-s.done
 	}
+	var err error
+	for _, s := range d.shards {
+		s.rt.Close()
+		if e := s.closeBackend(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Sync flushes every durable backend to stable storage (msync for the
+// mmap backend). It is a no-op for in-process dispatchers and safe to
+// call at any time, including while rounds are running — writes racing
+// the flush may or may not be included.
+func (d *Dispatcher) Sync() error {
+	var err error
+	for _, s := range d.shards {
+		if s.backend != nil {
+			if e := s.backend.Sync(); err == nil {
+				err = e
+			}
+		}
+	}
+	return err
+}
+
+// abandon simulates process death for crash-recovery tests: every shard
+// loop exits at its next round boundary without draining its queue, and
+// the backends are left un-closed, exactly as a kill would. The
+// dispatcher is unusable afterwards.
+func (d *Dispatcher) abandon() {
+	d.closed.Store(true)
+	for _, s := range d.shards {
+		s.abandon()
+	}
+	for _, s := range d.shards {
+		<-s.done
+	}
 	for _, s := range d.shards {
 		s.rt.Close()
 	}
-	return nil
 }
 
 // jobsDone is called by shards after each round to publish progress.
@@ -243,10 +413,13 @@ type ShardStats struct {
 // Stats is a point-in-time snapshot of dispatcher progress.
 type Stats struct {
 	// Submitted, Performed and Pending count jobs; Pending jobs are queued
-	// or in flight.
+	// or in flight. Recovered counts the re-submitted jobs that resolved
+	// from a previous incarnation's durable journal without re-running
+	// (they are included in Performed).
 	Submitted uint64
 	Performed uint64
 	Pending   uint64
+	Recovered uint64
 	// Rounds, Residue, Duplicates, Crashes, Steps and Work sum the
 	// per-shard counters.
 	Rounds     uint64
@@ -272,6 +445,7 @@ func (d *Dispatcher) Stats() Stats {
 	st := Stats{
 		Submitted: d.submitted.Load(),
 		Performed: performed,
+		Recovered: d.recoveredN.Load(),
 		Elapsed:   time.Since(d.start),
 		Shards:    make([]ShardStats, len(d.shards)),
 	}

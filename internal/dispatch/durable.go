@@ -1,0 +1,128 @@
+package dispatch
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"atmostonce/internal/core"
+	"atmostonce/internal/membackend"
+)
+
+// Durable shard state. When Config.NewMem supplies a register backend,
+// each shard lays its register file out as
+//
+//	cell 0                 — config fingerprint (shard id, shard count,
+//	                         m, MaxBatch, MaxJobs folded through FNV;
+//	                         reopening with a different shape is refused)
+//	cells 1..jmetaCells-1  — reserved
+//	m rows × MaxJobs cells — the durable journal: worker p appends the
+//	                         dispatcher-wide id of every job it performs
+//	                         to row p, in order, before invoking the
+//	                         payload
+//	the rest               — the conc.Runtime register layout (next
+//	                         array + done matrix) at base jbase+m·MaxJobs
+//
+// The journal rows mirror the paper's done matrix — single-writer
+// ownership registers, append-only within a row — but hold durable
+// dispatcher-wide ids instead of the round's dense local ids, so a
+// recovery scan (scan each row to its first zero) reconstructs exactly
+// which jobs were ever performed, across every round and every process
+// incarnation. See DESIGN.md §7 for the protocol and its crash-window
+// analysis.
+const jmetaCells = 8
+
+// fingerprint folds a shard's layout-determining configuration into a
+// positive int64 stored at cell 0 of its register file. The shard COUNT
+// is included even though it does not shape this file: reopening a
+// 2-shard register-file set with Shards=1 would silently ignore shard
+// 1's journal and re-execute its jobs, so any shape change is refused.
+func fingerprint(shard, shards, m, maxBatch, maxJobs int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "amo-dispatch-v1/%d of %d/%d/%d/%d", shard, shards, m, maxBatch, maxJobs)
+	return int64(h.Sum64() >> 1) // keep it positive and distinct from the empty cell
+}
+
+// jaddr returns the journal cell for worker p's idx-th performed job
+// (p 1-based, idx 0-based).
+func (s *shard) jaddr(p, idx int) int { return jmetaCells + (p-1)*s.jlen + idx }
+
+// openDurable builds the shard's backend, validates or initializes its
+// metadata and, when the backend holds pre-crash state, recovers it:
+// the journal rows are scanned for performed job ids (returned to the
+// caller), the per-worker append cursors are rebuilt, and the runtime's
+// register window is re-zeroed so the next round starts from the model's
+// initial state.
+func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
+	m, maxBatch, maxJobs := cfg.Workers, cfg.MaxBatch, cfg.MaxJobs
+	lay := core.Layout{M: m, RowLen: maxBatch}
+	jbase := jmetaCells + m*maxJobs
+	size := jbase + lay.Size()
+	b, err := cfg.NewMem(s.id, size)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: shard %d backend: %w", s.id, err)
+	}
+	if b.Size() < size {
+		b.Close()
+		return nil, fmt.Errorf("dispatch: shard %d backend holds %d cells, need %d", s.id, b.Size(), size)
+	}
+	s.backend = b
+	s.durable = true
+	s.jlen = maxJobs
+	s.jcur = make([]int, m)
+	s.rbase = jbase
+
+	fp := fingerprint(s.id, cfg.Shards, m, maxBatch, maxJobs)
+	if r, ok := b.(membackend.Reopener); ok && r.Reopened() {
+		if got := b.Read(0); got != fp {
+			b.Close()
+			return nil, fmt.Errorf("dispatch: shard %d register file was written by a different configuration (fingerprint %#x, want %#x); use the original Shards/Workers/MaxBatch/MaxJobs or start from a fresh file",
+				s.id, got, fp)
+		}
+		for p := 1; p <= m; p++ {
+			n := 0
+			for n < maxJobs {
+				id := b.Read(s.jaddr(p, n))
+				if id == 0 {
+					break
+				}
+				recovered = append(recovered, uint64(id))
+				n++
+			}
+			s.jcur[p-1] = n
+		}
+		// The crash may have left a round in flight: the runtime window
+		// holds that round's next/done registers. The journal already
+		// accounts for every performed job, so the window is just dirt —
+		// restore the model's all-zero initial state.
+		for a := jbase; a < size; a++ {
+			if b.Read(a) != 0 {
+				b.Write(a, 0)
+			}
+		}
+	} else {
+		b.Write(0, fp)
+	}
+	return recovered, nil
+}
+
+// journal durably records that worker p performed the job in batch slot
+// local-1, before the payload runs. Crash ordering: record-then-do. A
+// process killed between the two re-performs nothing on recovery — the
+// at-most-once guarantee is absolute — at the price of counting the job
+// performed even though its payload never ran, the same way the paper's
+// crashes cost effectiveness, never safety (Theorem 2.1 makes that
+// trade unavoidable). Cooperative crashes (injected via CrashPlan, or
+// any stop at action granularity, the paper's model §2.1) sit outside
+// the record/do window, so they lose nothing.
+func (s *shard) journal(p int, id uint64) {
+	idx := s.jcur[p-1] // p's row is single-writer; no synchronization needed
+	if idx >= s.jlen {
+		// Unreachable while the Submit-side MaxJobs guard holds: every id
+		// is journaled at most once across all rows and incarnations, so a
+		// row never outgrows MaxJobs. Fail loudly rather than overwrite a
+		// neighbouring row.
+		panic(fmt.Sprintf("dispatch: shard %d journal row %d overflow (MaxJobs %d)", s.id, p, s.jlen))
+	}
+	s.mem.Write(s.jaddr(p, idx), int64(id))
+	s.jcur[p-1] = idx + 1
+}

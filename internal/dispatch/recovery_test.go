@@ -1,0 +1,416 @@
+package dispatch
+
+import (
+	"errors"
+	"expvar"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atmostonce/internal/membackend"
+)
+
+// mmapFactory returns a Config.NewMem mapping each shard's register
+// file under dir, so successive dispatchers share durable state.
+func mmapFactory(dir string) func(shard, size int) (membackend.Backend, error) {
+	spec := "mmap:" + filepath.Join(dir, "regs")
+	return func(shard, size int) (membackend.Backend, error) {
+		return membackend.Open(membackend.ShardSpec(spec, shard), size)
+	}
+}
+
+func requireMmap(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("durable backend requires linux")
+	}
+}
+
+// waitFor polls cond for up to 20s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRecoverMidRound is the heart of the durability story: a durable
+// dispatcher is "killed" in the middle of its first round — its workers
+// quiesce at action boundaries, the paper's crash model (§2.1), and the
+// process state is simply abandoned — then a second dispatcher over the
+// same register files recovers the journal and the re-submitted stream
+// completes with zero duplicates and zero lost jobs.
+func TestRecoverMidRound(t *testing.T) {
+	requireMmap(t)
+	const (
+		n       = 2000
+		workers = 4
+		killAt  = 32
+	)
+	dir := t.TempDir()
+	executions := make([]atomic.Int32, n+1)
+
+	// Phase 1: the doomed incarnation. Once killAt payloads have run,
+	// every subsequent payload blocks forever, so all workers end up
+	// parked inside a payload (after its effect and its journal record)
+	// and the round can never finish — a process frozen mid-round.
+	var performed, blocked atomic.Int64
+	gate := make(chan struct{}) // never closed: d1's workers stay frozen
+	d1, err := New(Config{
+		Shards: 1, Workers: workers, MaxBatch: 512,
+		NewMem: mmapFactory(dir), MaxJobs: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() {
+			executions[id].Add(1)
+			if performed.Add(1) >= killAt {
+				blocked.Add(1)
+				<-gate
+			}
+		}
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all workers frozen mid-round", func() bool { return blocked.Load() == workers })
+	preCrash := performed.Load()
+	// d1 is now abandoned without Close: its goroutines leak for the
+	// test's lifetime, exactly like memory of a killed process.
+
+	// Phase 2: recovery. Reopen the same register files and re-submit
+	// the identical stream (same order, hence same ids).
+	d2, err := New(Config{
+		Shards: 1, Workers: workers, MaxBatch: 512,
+		NewMem: mmapFactory(dir), MaxJobs: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() { executions[id].Add(1) }
+	}
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	st := d2.Stats()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Recovered != uint64(preCrash) {
+		t.Errorf("recovered %d jobs from the journal, want %d (the pre-crash performs)", st.Recovered, preCrash)
+	}
+	dup, lost := 0, 0
+	for id := 1; id <= n; id++ {
+		switch executions[id].Load() {
+		case 1:
+		case 0:
+			lost++
+		default:
+			dup++
+		}
+	}
+	if dup != 0 {
+		t.Errorf("at-most-once violated across the crash: %d duplicate executions", dup)
+	}
+	if lost != 0 {
+		t.Errorf("%d jobs lost across the crash", lost)
+	}
+	if st.Duplicates != 0 {
+		t.Errorf("round-level duplicates: %d", st.Duplicates)
+	}
+}
+
+// TestRecoverRoundBoundary crashes a multi-shard dispatcher between
+// rounds (abandon: loops exit at the next round boundary without
+// draining) and checks the reopened dispatcher completes the stream
+// exactly once.
+func TestRecoverRoundBoundary(t *testing.T) {
+	requireMmap(t)
+	const n = 1000
+	dir := t.TempDir()
+	executions := make([]atomic.Int32, n+1)
+	cfg := Config{
+		Shards: 2, Workers: 3, MaxBatch: 64,
+		NewMem: mmapFactory(dir), MaxJobs: n,
+	}
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		id := i + 1
+		// The sleep throttles the drain so the abandon below reliably
+		// lands while most of the stream is still queued.
+		fns[i] = func() { executions[id].Add(1); time.Sleep(100 * time.Microsecond) }
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "some progress", func() bool { return d1.Stats().Performed >= 100 })
+	d1.abandon() // process death at the round boundary; queue not drained
+
+	phase1 := 0
+	for id := 1; id <= n; id++ {
+		phase1 += int(executions[id].Load())
+	}
+	if phase1 >= n {
+		t.Fatalf("phase 1 already drained everything (%d); crash came too late to test recovery", phase1)
+	}
+
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() { executions[id].Add(1) }
+	}
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	st := d2.Stats()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Recovered != uint64(phase1) {
+		t.Errorf("recovered %d, want %d", st.Recovered, phase1)
+	}
+	for id := 1; id <= n; id++ {
+		if c := executions[id].Load(); c != 1 {
+			t.Fatalf("job %d executed %d times across the crash", id, c)
+		}
+	}
+}
+
+// TestRecoverAfterCleanClose reopens a drained register file: the whole
+// re-submitted stream must resolve from the journal without a single
+// payload run (idempotent restart).
+func TestRecoverAfterCleanClose(t *testing.T) {
+	requireMmap(t)
+	const n = 300
+	dir := t.TempDir()
+	cfg := Config{
+		Shards: 2, Workers: 2, MaxBatch: 32,
+		NewMem: mmapFactory(dir), MaxJobs: n,
+	}
+	var runs atomic.Int64
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		fns[i] = func() { runs.Add(1) }
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d1.Flush()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != n {
+		t.Fatalf("first incarnation ran %d payloads, want %d", got, n)
+	}
+
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	if got := runs.Load(); got != n {
+		t.Fatalf("restart re-ran payloads: %d total runs, want %d", got, n)
+	}
+	if st := d2.Stats(); st.Recovered != n {
+		t.Fatalf("Recovered = %d, want %d", st.Recovered, n)
+	}
+}
+
+// TestReopenConfigMismatch: a register file written under one shape
+// must be refused under another.
+func TestReopenConfigMismatch(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	cfg := Config{
+		Shards: 1, Workers: 2, MaxBatch: 32,
+		NewMem: mmapFactory(dir), MaxJobs: 100,
+	}
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d1.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	d1.Flush()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A shape with a different register-file size is refused by the
+	// backend's header check.
+	bad := cfg
+	bad.Workers = 3
+	bad.MaxBatch = 64
+	if _, err := New(bad); err == nil {
+		t.Fatal("reopen with different file size accepted")
+	}
+	// A shape with the SAME total size but different geometry gets past
+	// the header and is refused by the fingerprint. With m=2 the cell
+	// count is 8 + 2·MaxJobs + 2 + 2·MaxBatch; trading one MaxBatch cell
+	// for one MaxJobs cell keeps it constant.
+	sly := cfg
+	sly.MaxJobs = cfg.MaxJobs + 1
+	sly.MaxBatch = cfg.MaxBatch - 1
+	if _, err := New(sly); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("size-preserving mismatched reopen: got %v", err)
+	}
+	// Shrinking the shard count must be refused too: shard 0's file has
+	// the same size and geometry either way, but opening it under
+	// Shards=1 would silently orphan the other shards' journals and
+	// re-execute their jobs.
+	multi := cfg
+	multi.Shards = 2
+	multi.NewMem = mmapFactory(t.TempDir()) // fresh files; shard0 above was written under Shards=1
+	dm, err := New(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := multi
+	shrunk.Shards = 1
+	if _, err := New(shrunk); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("shrunk shard count reopen: got %v", err)
+	}
+	// The original shape still opens.
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+}
+
+// TestJournalFull: ids beyond MaxJobs are refused on both submit paths.
+func TestJournalFull(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	d, err := New(Config{
+		Shards: 1, Workers: 2, MaxBatch: 8,
+		NewMem: mmapFactory(dir), MaxJobs: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := d.Submit(func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ids beyond MaxJobs are refused (id assignment is not rolled back;
+	// the journal capacity is what is being protected).
+	if _, err := d.Submit(func() {}); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("submit past MaxJobs: got %v, want ErrJournalFull", err)
+	}
+	if _, err := d.SubmitBatch(make([]Job, 5)); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("batch past MaxJobs: got %v, want ErrJournalFull", err)
+	}
+	d.Flush()
+
+	// Config sanity: NewMem without MaxJobs is rejected.
+	if _, err := New(Config{NewMem: mmapFactory(dir)}); err == nil {
+		t.Fatal("NewMem without MaxJobs accepted")
+	}
+}
+
+// TestExpvar: opt-in Stats publishing for scrapers.
+func TestExpvar(t *testing.T) {
+	d, err := New(Config{Shards: 1, Workers: 2, Expvar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	name := d.ExpvarName()
+	if name == "" {
+		t.Fatal("Expvar set but ExpvarName is empty")
+	}
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := d.Submit(func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	out := v.String()
+	for _, field := range []string{`"Submitted":10`, `"Performed":10`, `"Rounds"`, `"Work"`} {
+		if !strings.Contains(out, field) {
+			t.Errorf("expvar output missing %s: %s", field, out)
+		}
+	}
+
+	// Off by default.
+	d2, err := New(Config{Shards: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.ExpvarName() != "" {
+		t.Fatal("ExpvarName set without Config.Expvar")
+	}
+}
+
+// TestDurableSync: Sync is callable on both durable and in-process
+// dispatchers.
+func TestDurableSync(t *testing.T) {
+	d, err := New(Config{Shards: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal("in-process Sync:", err)
+	}
+	d.Close()
+
+	requireMmap(t)
+	dd, err := New(Config{
+		Shards: 1, Workers: 2, MaxBatch: 8,
+		NewMem: mmapFactory(t.TempDir()), MaxJobs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dd.Close()
+	if _, err := dd.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	dd.Flush()
+	if err := dd.Sync(); err != nil {
+		t.Fatal("durable Sync:", err)
+	}
+}

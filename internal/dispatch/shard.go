@@ -4,6 +4,8 @@ import (
 	"sync"
 
 	"atmostonce/internal/conc"
+	"atmostonce/internal/membackend"
+	"atmostonce/internal/shmem"
 )
 
 // shard is one independent KKβ instance: a persistent worker pool, a
@@ -17,11 +19,22 @@ type shard struct {
 	m  int
 	rt *conc.Runtime
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      ring
-	closed bool
-	stats  ShardStats
+	// Durable state (nil/zero for in-process shards): the register
+	// backend, the journal geometry and the per-worker append cursors.
+	// See durable.go for the register-file layout.
+	backend membackend.Backend
+	mem     shmem.Mem
+	durable bool
+	jlen    int
+	rbase   int
+	jcur    []int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         ring
+	closed    bool
+	abandoned bool
+	stats     ShardStats
 
 	// batch holds the jobs of the round in flight, indexed by local job id
 	// minus one; slots past the real batch are zero (round padding). Only
@@ -32,36 +45,58 @@ type shard struct {
 	done   chan struct{}
 }
 
-func newShard(d *Dispatcher, id int) (*shard, error) {
-	rt, err := conc.NewRuntime(conc.RuntimeOptions{
+// newShard builds one shard. With a durable backend it also performs
+// the recovery scan, returning the job ids a previous process
+// incarnation already performed.
+func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
+	s := &shard{
+		d:     d,
+		id:    id,
+		m:     d.cfg.Workers,
+		batch: make([]entry, d.cfg.MaxBatch),
+		done:  make(chan struct{}),
+	}
+	opts := conc.RuntimeOptions{
 		M:        d.cfg.Workers,
 		Capacity: d.cfg.MaxBatch,
 		Beta:     d.cfg.Beta,
 		Jitter:   d.cfg.Jitter,
 		Seed:     d.cfg.Seed + int64(id)*1_000_003,
-	})
+	}
+	var recovered []uint64
+	if d.cfg.NewMem != nil {
+		var err error
+		if recovered, err = s.openDurable(&d.cfg); err != nil {
+			return nil, nil, err
+		}
+		s.mem = s.backend
+		opts.Mem, opts.MemBase = s.backend, s.rbase
+	}
+	rt, err := conc.NewRuntime(opts)
 	if err != nil {
-		return nil, err
+		if s.backend != nil {
+			s.backend.Close()
+		}
+		return nil, nil, err
 	}
-	s := &shard{
-		d:     d,
-		id:    id,
-		m:     d.cfg.Workers,
-		rt:    rt,
-		batch: make([]entry, d.cfg.MaxBatch),
-		done:  make(chan struct{}),
-	}
+	s.rt = rt
 	s.cond = sync.NewCond(&s.mu)
 	s.execFn = s.exec
-	return s, nil
+	return s, recovered, nil
 }
 
 // exec is the round payload: local job ids map to batch slots; padding
-// slots carry no payload.
+// slots carry no payload. Durable shards journal the job's durable id
+// before running it (record-then-do; see durable.go).
 func (s *shard) exec(worker, local int) {
-	if fn := s.batch[local-1].fn; fn != nil {
-		fn()
+	e := &s.batch[local-1]
+	if e.fn == nil {
+		return
 	}
+	if s.durable {
+		s.journal(worker, e.id)
+	}
+	e.fn()
 }
 
 // enqueue and enqueueBatch are only reachable while the dispatcher's
@@ -84,10 +119,39 @@ func (s *shard) enqueueBatch(firstID uint64, fns []Job) {
 	s.mu.Unlock()
 }
 
+func (s *shard) enqueueEntries(es []entry) {
+	s.mu.Lock()
+	for _, e := range es {
+		s.q.pushBack(e)
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
 // stop marks the shard closed and wakes the loop so it can drain and exit.
 func (s *shard) stop() {
 	s.mu.Lock()
 	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// closeBackend syncs and closes the shard's durable backend, if any.
+func (s *shard) closeBackend() error {
+	if s.backend == nil {
+		return nil
+	}
+	return s.backend.Close()
+}
+
+// abandon simulates process death at a round boundary (the paper's
+// crash model stops processes between actions): the loop exits after
+// the round in flight WITHOUT draining the queue, leaving the durable
+// backend exactly as a killed process would. Crash-recovery tests use
+// it; production code paths never do.
+func (s *shard) abandon() {
+	s.mu.Lock()
+	s.abandoned = true
 	s.cond.Signal()
 	s.mu.Unlock()
 }
@@ -123,11 +187,11 @@ func (s *shard) loop() {
 // returns the number of real jobs taken; 0 means exit.
 func (s *shard) takeBatch() int {
 	s.mu.Lock()
-	for s.q.len() == 0 && !s.closed {
+	for s.q.len() == 0 && !s.closed && !s.abandoned {
 		s.cond.Wait()
 	}
 	n := s.q.len()
-	if n == 0 {
+	if n == 0 || s.abandoned {
 		s.mu.Unlock()
 		return 0
 	}

@@ -1,0 +1,80 @@
+package membackend
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CountingMem wraps any backend with read/write counters, giving the
+// shared-access instrumentation of shmem.SimMem outside the simulator:
+// unlike SimMem it is safe for concurrent use (counters are atomic) and
+// composes with durable backends ("counting:mmap:PATH").
+type CountingMem struct {
+	inner  Backend
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+var (
+	_ Backend  = (*CountingMem)(nil)
+	_ Reopener = (*CountingMem)(nil)
+)
+
+// NewCounting wraps inner with access counting.
+func NewCounting(inner Backend) *CountingMem {
+	return &CountingMem{inner: inner}
+}
+
+// Read implements shmem.Mem.
+func (c *CountingMem) Read(addr int) int64 {
+	c.reads.Add(1)
+	return c.inner.Read(addr)
+}
+
+// Write implements shmem.Mem.
+func (c *CountingMem) Write(addr int, v int64) {
+	c.writes.Add(1)
+	c.inner.Write(addr, v)
+}
+
+// Size implements shmem.Mem.
+func (c *CountingMem) Size() int { return c.inner.Size() }
+
+// Sync implements Backend.
+func (c *CountingMem) Sync() error { return c.inner.Sync() }
+
+// Close implements Backend.
+func (c *CountingMem) Close() error { return c.inner.Close() }
+
+// Reopened implements Reopener by delegating to the inner backend.
+func (c *CountingMem) Reopened() bool {
+	if r, ok := c.inner.(Reopener); ok {
+		return r.Reopened()
+	}
+	return false
+}
+
+// Inner returns the wrapped backend.
+func (c *CountingMem) Inner() Backend { return c.inner }
+
+// Reads returns the number of Read calls observed.
+func (c *CountingMem) Reads() uint64 { return c.reads.Load() }
+
+// Writes returns the number of Write calls observed.
+func (c *CountingMem) Writes() uint64 { return c.writes.Load() }
+
+// Accesses returns Reads()+Writes().
+func (c *CountingMem) Accesses() uint64 { return c.reads.Load() + c.writes.Load() }
+
+func init() {
+	Register("counting", func(arg string, size int) (Backend, error) {
+		if arg == "" {
+			return nil, fmt.Errorf("membackend: counting backend needs an inner spec, e.g. %q", "counting:atomic")
+		}
+		inner, err := Open(arg, size)
+		if err != nil {
+			return nil, err
+		}
+		return NewCounting(inner), nil
+	})
+}

@@ -1,0 +1,138 @@
+// Package membackend is the register-backend registry: every
+// implementation of shmem.Mem that the concurrent stack can run on,
+// behind one factory. The paper's algorithms only ever see an array of
+// atomic read/write registers (§2.1); everything above the registers —
+// core, conc.Runtime, the streaming dispatcher — talks to them through
+// the shmem.Mem interface, so the register file itself is a replaceable
+// subsystem. This package makes the replacement explicit:
+//
+//   - "atomic"  — the in-process sync/atomic backend (shmem.AtomicMem),
+//     the default for purely in-memory dispatchers.
+//   - "mmap:PATH" — a durable register file: the cells live in a
+//     memory-mapped file with a versioned header, so at-most-once state
+//     survives process death and a dispatcher can recover it
+//     (internal/dispatch's recovery scan; DESIGN.md §7).
+//   - "counting:SPEC" — an instrumented wrapper around any other
+//     backend, counting reads and writes outside the simulator.
+//
+// Backends are selected by spec string through Open, e.g.
+// Open("mmap:/var/lib/amo/shard.reg", size). Additional backends (a
+// networked register service, say) register themselves with Register.
+//
+// See DESIGN.md §7 for the interface contract, the mmap file layout and
+// the multi-process atomicity caveats.
+package membackend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"atmostonce/internal/shmem"
+)
+
+// Backend is a register file with an explicit lifecycle. Read and Write
+// must be atomic per cell and safe for concurrent use (the contract the
+// conformance suite internal/memtest enforces); Sync and Close are
+// no-ops for volatile backends.
+type Backend interface {
+	shmem.Mem
+	// Sync flushes outstanding writes to the backing store, if any.
+	Sync() error
+	// Close releases the backend's resources. Using the backend after
+	// Close is undefined. Close is idempotent.
+	Close() error
+}
+
+// Reopener is the optional capability of durable backends: Reopened
+// reports whether Open found existing register state (as opposed to
+// creating a fresh, zeroed file). The dispatcher's crash recovery keys
+// off this.
+type Reopener interface {
+	Reopened() bool
+}
+
+// OpenFunc builds a backend with size cells from the spec's argument
+// (the part after "kind:", possibly empty).
+type OpenFunc func(arg string, size int) (Backend, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]OpenFunc{}
+)
+
+// Register adds a backend kind to the registry. It panics on a
+// duplicate kind; call it from an init function.
+func Register(kind string, open OpenFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic("membackend: duplicate backend kind " + kind)
+	}
+	registry[kind] = open
+}
+
+// Kinds returns the registered backend kinds, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open builds the backend a spec names, with size cells. A spec is
+// "kind" or "kind:argument"; wrapper kinds (counting) take a nested
+// spec as their argument. An empty spec means "atomic".
+func Open(spec string, size int) (Backend, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("membackend: need a positive size, got %d", size)
+	}
+	kind, arg := splitSpec(spec)
+	regMu.RLock()
+	open, ok := registry[kind]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("membackend: unknown backend %q (have %s)", kind, strings.Join(Kinds(), ", "))
+	}
+	return open(arg, size)
+}
+
+// ShardSpec rewrites a spec for one shard of a sharded deployment:
+// path-bearing kinds (mmap) get a ".shard<i>" suffix so every shard
+// maps its own file; volatile kinds pass through unchanged. Wrappers
+// rewrite their inner spec.
+func ShardSpec(spec string, shard int) string {
+	return WithSuffix(spec, fmt.Sprintf(".shard%d", shard))
+}
+
+// WithSuffix appends suffix to the path of a spec's path-bearing
+// terminal kind (mmap), recursing through wrappers (counting); specs
+// without a path pass through unchanged. Callers that need several
+// independent instances of one spec (shards, bench sweep points) use it
+// to derive per-instance file names.
+func WithSuffix(spec, suffix string) string {
+	kind, arg := splitSpec(spec)
+	switch kind {
+	case "mmap":
+		return kind + ":" + arg + suffix
+	case "counting":
+		return kind + ":" + WithSuffix(arg, suffix)
+	default:
+		return spec
+	}
+}
+
+func splitSpec(spec string) (kind, arg string) {
+	if spec == "" {
+		return "atomic", ""
+	}
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	return spec, ""
+}

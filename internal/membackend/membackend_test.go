@@ -1,0 +1,246 @@
+package membackend
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"atmostonce/internal/memtest"
+	"atmostonce/internal/shmem"
+)
+
+// mmapFactory builds a memtest.Factory over one register file path so
+// the Reopen subtest maps the same storage twice.
+func mmapFactory(t *testing.T, wrap string) memtest.Factory {
+	dir := t.TempDir()
+	var path string
+	spec := func() string {
+		s := "mmap:" + path
+		if wrap != "" {
+			s = wrap + ":" + s
+		}
+		return s
+	}
+	open := func(t *testing.T, size int) shmem.Mem {
+		b, err := Open(spec(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	}
+	return memtest.Factory{
+		New: func(t *testing.T, size int) shmem.Mem {
+			// Subtests get distinct files; "/" in subtest names would
+			// otherwise read as directories.
+			path = filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+".reg")
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				t.Fatal(err)
+			}
+			return open(t, size)
+		},
+		Reopen:  open,
+		Release: func(t *testing.T, m shmem.Mem) { m.(Backend).Close() },
+	}
+}
+
+func TestAtomicBackendSuite(t *testing.T) {
+	memtest.RunMemSuite(t, memtest.Factory{
+		New: func(t *testing.T, size int) shmem.Mem {
+			b, err := Open("atomic", size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+	})
+}
+
+func TestCountingAtomicSuite(t *testing.T) {
+	memtest.RunMemSuite(t, memtest.Factory{
+		New: func(t *testing.T, size int) shmem.Mem {
+			b, err := Open("counting:atomic", size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+	})
+}
+
+func TestMmapSuite(t *testing.T) {
+	requireMmap(t)
+	memtest.RunMemSuite(t, mmapFactory(t, ""))
+}
+
+func TestCountingMmapSuite(t *testing.T) {
+	requireMmap(t)
+	memtest.RunMemSuite(t, mmapFactory(t, "counting"))
+}
+
+func requireMmap(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("mmap backend requires linux")
+	}
+}
+
+func TestCountingCounts(t *testing.T) {
+	b, err := Open("counting:atomic", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.(*CountingMem)
+	c.Write(0, 7)
+	c.Write(1, 8)
+	if c.Read(0) != 7 {
+		t.Fatal("read through wrapper lost the write")
+	}
+	if c.Reads() != 1 || c.Writes() != 2 || c.Accesses() != 3 {
+		t.Fatalf("counters reads=%d writes=%d, want 1/2", c.Reads(), c.Writes())
+	}
+	if c.Reopened() {
+		t.Fatal("volatile inner backend reported Reopened")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("nosuch", 8); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("unknown kind: got %v", err)
+	}
+	if _, err := Open("atomic", 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := Open("atomic:junk", 8); err == nil {
+		t.Fatal("atomic with argument accepted")
+	}
+	if _, err := Open("counting", 8); err == nil {
+		t.Fatal("counting without inner spec accepted")
+	}
+	if _, err := Open("mmap", 8); err == nil {
+		t.Fatal("mmap without path accepted")
+	}
+	// Empty spec defaults to atomic.
+	b, err := Open("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(AtomicBackend); !ok {
+		t.Fatalf("empty spec opened %T, want AtomicBackend", b)
+	}
+}
+
+func TestShardSpec(t *testing.T) {
+	cases := [][3]string{
+		{"atomic", "0", "atomic"},
+		{"mmap:/tmp/x", "2", "mmap:/tmp/x.shard2"},
+		{"counting:mmap:/tmp/x", "1", "counting:mmap:/tmp/x.shard1"},
+		{"counting:atomic", "3", "counting:atomic"},
+	}
+	for _, c := range cases {
+		shard := int(c[1][0] - '0')
+		if got := ShardSpec(c[0], shard); got != c[2] {
+			t.Errorf("ShardSpec(%q, %d) = %q, want %q", c[0], shard, got, c[2])
+		}
+	}
+	// WithSuffix only touches path-bearing terminals.
+	if got := WithSuffix("counting:atomic", ".shape1"); got != "counting:atomic" {
+		t.Errorf("WithSuffix(counting:atomic) = %q, want unchanged", got)
+	}
+	if got := WithSuffix("counting:mmap:/x", ".shape1"); got != "counting:mmap:/x.shape1" {
+		t.Errorf("WithSuffix(counting:mmap:/x) = %q", got)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	kinds := Kinds()
+	for _, want := range []string{"atomic", "counting", "mmap"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry missing %q (have %v)", want, kinds)
+		}
+	}
+}
+
+func TestMmapHeaderValidation(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "regs")
+
+	b, err := OpenMmap(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(5, 99)
+	if b.Reopened() {
+		t.Fatal("fresh file reported Reopened")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("Close is not idempotent:", err)
+	}
+
+	// Reopen with the right size sees the data and reports Reopened.
+	r, err := OpenMmap(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Reopened() {
+		t.Fatal("existing file not reported as reopened")
+	}
+	if got := r.Read(5); got != 99 {
+		t.Fatalf("persisted cell reads %d, want 99", got)
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Size mismatch is rejected, both ways.
+	if _, err := OpenMmap(path, 64); err == nil {
+		t.Fatal("cell-count mismatch accepted")
+	}
+
+	// A non-register file is rejected.
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, make([]byte, mmapHeader+32*8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// All-zero content is the crashed-during-create case: accepted as fresh.
+	z, err := OpenMmap(junk, 32)
+	if err != nil {
+		t.Fatalf("zeroed file rejected: %v", err)
+	}
+	if z.Reopened() {
+		t.Fatal("zeroed file reported Reopened")
+	}
+	z.Close()
+	// Corrupt the magic: rejected.
+	data, _ := os.ReadFile(junk)
+	copy(data, "GARBAGE!")
+	if err := os.WriteFile(junk, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMmap(junk, 32); err == nil || !strings.Contains(err.Error(), "not a register file") {
+		t.Fatalf("corrupt magic: got %v", err)
+	}
+
+	// A directory path fails cleanly with a path error, not a panic.
+	if _, err := OpenMmap(dir, 8); err == nil {
+		t.Fatal("directory path accepted")
+	} else {
+		var perr *os.PathError
+		if !errors.As(err, &perr) && !strings.Contains(err.Error(), dir) {
+			t.Fatalf("directory open error does not name the path: %v", err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package memtest
+
+import (
+	"testing"
+
+	"atmostonce/internal/shmem"
+)
+
+// The two shmem-native implementations pass the shared battery; the
+// backend registry's implementations run it from internal/membackend.
+
+func TestSimMemSuite(t *testing.T) {
+	RunMemSuite(t, Factory{
+		New:        func(t *testing.T, size int) shmem.Mem { return shmem.NewSim(size) },
+		Sequential: true, // SimMem is only atomic under a serializing scheduler
+	})
+}
+
+func TestAtomicMemSuite(t *testing.T) {
+	RunMemSuite(t, Factory{
+		New: func(t *testing.T, size int) shmem.Mem { return shmem.NewAtomic(size) },
+	})
+}

@@ -1,8 +1,11 @@
 // Package shmem models the shared memory of the paper's asynchronous
 // shared-memory system (§2.1): a collection of atomic read/write cells,
-// each O(log n) bits wide.
+// each O(log n) bits wide. The Mem interface is the seam the whole
+// stack is built on — algorithms (internal/core), the concurrent
+// runtime (internal/conc) and the streaming dispatcher
+// (internal/dispatch) only ever see Read/Write/Size.
 //
-// Two implementations are provided behind the Mem interface:
+// This package provides the two foundational implementations:
 //
 //   - SimMem: plain cells for use under the single-stepped simulation
 //     engine (internal/sim), where atomicity holds by construction because
@@ -11,6 +14,14 @@
 //   - AtomicMem: cells backed by sync/atomic for the true concurrent runtime
 //     (internal/conc), where each algorithm action performs at most one
 //     shared access and therefore remains atomic on real hardware.
+//
+// Further backends live in the registry package internal/membackend and
+// are selected by spec string (membackend.Open): the in-process atomic
+// backend, the durable memory-mapped register file ("mmap:PATH", the
+// substrate of dispatcher crash recovery) and an instrumented counting
+// wrapper. Every implementation must pass the shared conformance suite
+// internal/memtest; the file layout and recovery protocol are specified
+// in DESIGN.md §7.
 //
 // A separate TAS extension models test-and-set registers; the paper's
 // algorithms never use it (they are read/write only), but the baseline
