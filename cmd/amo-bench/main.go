@@ -6,9 +6,11 @@
 // With -throughput it instead benchmarks the streaming Dispatcher,
 // sweeping shards × workers × batch size and reporting jobs/sec.
 // -backend selects the register backend (atomic, mmap[:PATH],
-// counting:SPEC — see internal/membackend), so the cost of durable
-// journaling is measurable; -json emits the sweep as one JSON document
-// for bench trajectories (BENCH_*.json).
+// net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
+// cost of durable journaling — local or networked — is measurable;
+// -json emits the sweep as one JSON document for bench trajectories
+// (BENCH_*.json), including each shape's per-round effectiveness
+// histogram (eff_hist).
 //
 // Usage:
 //

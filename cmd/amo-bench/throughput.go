@@ -24,10 +24,15 @@ type throughputShape struct {
 // bench trajectories (BENCH_*.json) can be diffed mechanically.
 type throughputResult struct {
 	throughputShape
-	Rounds     uint64  `json:"rounds"`
-	Residue    uint64  `json:"residue"`
-	Crashes    uint64  `json:"crashes"`
-	JobsPerSec float64 `json:"jobs_per_sec"`
+	Rounds  uint64 `json:"rounds"`
+	Residue uint64 `json:"residue"`
+	Crashes uint64 `json:"crashes"`
+	// EffHist is the per-round effectiveness histogram: log-scale
+	// buckets over each round's loss fraction, bucket 0 = lost more than
+	// half, middle buckets halving loss each step, last bucket = perfect
+	// rounds (see atmostonce.DispatcherStats.EffHist).
+	EffHist    []uint64 `json:"eff_hist"`
+	JobsPerSec float64  `json:"jobs_per_sec"`
 }
 
 // throughputReport is the -json document.
@@ -86,6 +91,7 @@ func runThroughput(quick, asJSON bool, backend string) error {
 			Rounds:          st.Rounds,
 			Residue:         st.Residue,
 			Crashes:         st.Crashes,
+			EffHist:         append([]uint64(nil), st.EffHist[:]...),
 			JobsPerSec:      st.JobsPerSec,
 		}
 		report.Results = append(report.Results, res)

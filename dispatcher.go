@@ -5,6 +5,10 @@ import (
 
 	"atmostonce/internal/dispatch"
 	"atmostonce/internal/membackend"
+
+	// Register the "net:" backend (networked register service) in the
+	// membackend registry, so DispatcherConfig.Backend can name it.
+	_ "atmostonce/internal/netmem"
 )
 
 // DispatcherConfig configures a streaming Dispatcher.
@@ -38,8 +42,14 @@ type DispatcherConfig struct {
 	// existing files recovers the performed-job journal, and a client
 	// that re-submits the same job stream in the same order has each
 	// already-performed job resolve instantly instead of running twice
-	// (see examples/recover). "counting:SPEC" wraps any backend with
-	// access counting. Durable backends require MaxJobs.
+	// (see examples/recover). "net:HOST:PORT/NS" moves the registers to
+	// an amo-regd register server: shard s uses namespace "NS.shard<s>",
+	// holds the single-writer lease on it (a second dispatcher over the
+	// same namespaces waits for the lease and then takes over, fenced
+	// against the old writer — see examples/failover), and recovery
+	// works exactly as for mmap, over the wire. "counting:SPEC" wraps
+	// any backend with access counting. Durable and remote backends
+	// require MaxJobs.
 	Backend string
 	// MaxJobs bounds the distinct job ids a durable dispatcher may
 	// assign over the lifetime of its register files (across restarts);
@@ -147,6 +157,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Crashes:    st.Crashes,
 		Steps:      st.Steps,
 		Work:       st.Work,
+		EffHist:    st.EffHist,
 		Elapsed:    st.Elapsed,
 		JobsPerSec: st.JobsPerSec,
 		Shards:     make([]DispatcherShardStats, len(st.Shards)),
@@ -167,6 +178,10 @@ func (d *Dispatcher) Stats() DispatcherStats {
 	return out
 }
 
+// EffBuckets is the length of DispatcherStats.EffHist, the per-round
+// effectiveness histogram.
+const EffBuckets = dispatch.EffBuckets
+
 // DispatcherStats snapshots dispatcher progress counters.
 type DispatcherStats struct {
 	// Submitted, Performed and Pending count jobs end to end; Pending jobs
@@ -181,6 +196,14 @@ type DispatcherStats struct {
 	Rounds, Residue, Duplicates, Crashes uint64
 	// Steps and Work aggregate the paper's cost measures over all rounds.
 	Steps, Work uint64
+	// EffHist is the per-round effectiveness histogram over all shards:
+	// fixed log-scale buckets over each round's loss fraction
+	// 1 − performed/batch. Bucket 0 counts rounds that lost more than
+	// half their batch, bucket i rounds with loss in (2⁻⁽ⁱ⁺¹⁾, 2⁻ⁱ],
+	// bucket EffBuckets−2 every smaller non-zero loss, and the last
+	// bucket perfect rounds. Every executed round increments exactly one
+	// bucket.
+	EffHist [EffBuckets]uint64
 	// Elapsed is the time since NewDispatcher; JobsPerSec is
 	// Performed/Elapsed.
 	Elapsed    time.Duration

@@ -388,6 +388,31 @@ func (d *Dispatcher) jobsDone(n int) {
 	d.mu.Unlock()
 }
 
+// EffBuckets is the size of the per-round effectiveness histogram: a
+// fixed log scale over the round's LOSS fraction 1 − performed/batch.
+// Bucket 0 counts rounds that lost more than half their batch, bucket i
+// rounds with loss in (2⁻⁽ⁱ⁺¹⁾, 2⁻ⁱ], bucket EffBuckets−2 sweeps up
+// every non-zero loss at or below 2⁻⁽ᴱᶠᶠᴮᵘᶜᵏᵉᵗˢ⁻²⁾, and the last bucket
+// counts perfect rounds (every job in the batch performed). The log
+// scale matches the quantity of interest: the paper's bound is an
+// additive β+m−2 tail, so healthy rounds cluster in the fine buckets
+// near zero loss and pathology shows up as mass sliding toward bucket 0.
+const EffBuckets = 12
+
+// effBucket maps one round's (performed, batch) to its histogram
+// bucket.
+func effBucket(performed, batch int) int {
+	if performed >= batch {
+		return EffBuckets - 1
+	}
+	loss := batch - performed // in (0, batch]
+	i := 0
+	for i < EffBuckets-2 && loss<<(i+1) <= batch {
+		i++
+	}
+	return i
+}
+
 // ShardStats reports one shard's cumulative and latest-round counters.
 type ShardStats struct {
 	// Rounds is the number of rounds the shard has executed.
@@ -408,6 +433,10 @@ type ShardStats struct {
 	// jobs done. LastPerformed/LastBatch is the round's effectiveness.
 	LastBatch     int
 	LastPerformed int
+	// EffHist is the per-round effectiveness histogram (see EffBuckets
+	// for the bucket semantics): every executed round increments exactly
+	// one bucket.
+	EffHist [EffBuckets]uint64
 }
 
 // Stats is a point-in-time snapshot of dispatcher progress.
@@ -428,6 +457,9 @@ type Stats struct {
 	Crashes    uint64
 	Steps      uint64
 	Work       uint64
+	// EffHist sums the shards' per-round effectiveness histograms; see
+	// EffBuckets for the log-scale bucket semantics.
+	EffHist [EffBuckets]uint64
 	// Elapsed is the time since New; JobsPerSec is Performed/Elapsed.
 	Elapsed    time.Duration
 	JobsPerSec float64
@@ -463,6 +495,9 @@ func (d *Dispatcher) Stats() Stats {
 		st.Crashes += st.Shards[i].Crashes
 		st.Steps += st.Shards[i].Steps
 		st.Work += st.Shards[i].Work
+		for b, n := range st.Shards[i].EffHist {
+			st.EffHist[b] += n
+		}
 	}
 	if secs := st.Elapsed.Seconds(); secs > 0 {
 		st.JobsPerSec = float64(st.Performed) / secs

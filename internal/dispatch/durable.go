@@ -70,6 +70,7 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 	s.jlen = maxJobs
 	s.jcur = make([]int, m)
 	s.rbase = jbase
+	s.ackedW, _ = b.(membackend.AckedWriter)
 
 	fp := fingerprint(s.id, cfg.Shards, m, maxBatch, maxJobs)
 	if r, ok := b.(membackend.Reopener); ok && r.Reopened() {
@@ -79,14 +80,10 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 				s.id, got, fp)
 		}
 		for p := 1; p <= m; p++ {
-			n := 0
-			for n < maxJobs {
-				id := b.Read(s.jaddr(p, n))
-				if id == 0 {
-					break
-				}
-				recovered = append(recovered, uint64(id))
-				n++
+			n, err := s.scanJournalRow(p, &recovered)
+			if err != nil {
+				b.Close()
+				return nil, fmt.Errorf("dispatch: shard %d journal scan: %w", s.id, err)
 			}
 			s.jcur[p-1] = n
 		}
@@ -94,15 +91,72 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 		// holds that round's next/done registers. The journal already
 		// accounts for every performed job, so the window is just dirt —
 		// restore the model's all-zero initial state.
-		for a := jbase; a < size; a++ {
-			if b.Read(a) != 0 {
-				b.Write(a, 0)
-			}
+		if err := s.zeroWindow(jbase, size); err != nil {
+			b.Close()
+			return nil, fmt.Errorf("dispatch: shard %d window reset: %w", s.id, err)
 		}
 	} else {
 		b.Write(0, fp)
 	}
 	return recovered, nil
+}
+
+// scanChunk sizes the journal-scan range reads: big enough that a
+// remote row costs a handful of round trips, small enough not to drag
+// megabytes for a nearly-empty row.
+const scanChunk = 4096
+
+// scanJournalRow reads worker p's journal row up to its first zero,
+// appending the recovered ids. Over a RangeReader backend (remote) it
+// pulls chunks instead of cells — the difference between O(row) network
+// round trips and O(row/scanChunk).
+func (s *shard) scanJournalRow(p int, recovered *[]uint64) (n int, err error) {
+	rr, batched := s.backend.(membackend.RangeReader)
+	var chunk []int64
+	if batched {
+		chunk = make([]int64, scanChunk)
+	}
+	for n < s.jlen {
+		if !batched {
+			id := s.backend.Read(s.jaddr(p, n))
+			if id == 0 {
+				return n, nil
+			}
+			*recovered = append(*recovered, uint64(id))
+			n++
+			continue
+		}
+		m := s.jlen - n
+		if m > scanChunk {
+			m = scanChunk
+		}
+		if err := rr.ReadRange(s.jaddr(p, n), chunk[:m]); err != nil {
+			return n, err
+		}
+		for _, id := range chunk[:m] {
+			if id == 0 {
+				return n, nil
+			}
+			*recovered = append(*recovered, uint64(id))
+			n++
+		}
+	}
+	return n, nil
+}
+
+// zeroWindow restores the runtime register window [lo, hi) to the
+// model's initial all-zero state, in one operation when the backend can
+// Fill.
+func (s *shard) zeroWindow(lo, hi int) error {
+	if f, ok := s.backend.(membackend.Filler); ok {
+		return f.Fill(lo, hi-lo, 0)
+	}
+	for a := lo; a < hi; a++ {
+		if s.backend.Read(a) != 0 {
+			s.backend.Write(a, 0)
+		}
+	}
+	return nil
 }
 
 // journal durably records that worker p performed the job in batch slot
@@ -114,6 +168,15 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 // trade unavoidable). Cooperative crashes (injected via CrashPlan, or
 // any stop at action granularity, the paper's model §2.1) sit outside
 // the record/do window, so they lose nothing.
+//
+// Over a backend with an AckedWriter (the networked register service),
+// the record must be ACKNOWLEDGED before the payload runs: a pipelined
+// write still sitting in a buffer when the process dies would let the
+// successor re-run a job whose payload already executed — a duplicate.
+// A failed acked write (connection dead after retries, or fenced by a
+// successor's lease) panics: this worker's process has lost the right
+// to execute payloads, and dying before the payload is exactly the
+// crash the recovery protocol is built to absorb.
 func (s *shard) journal(p int, id uint64) {
 	idx := s.jcur[p-1] // p's row is single-writer; no synchronization needed
 	if idx >= s.jlen {
@@ -123,6 +186,12 @@ func (s *shard) journal(p int, id uint64) {
 		// neighbouring row.
 		panic(fmt.Sprintf("dispatch: shard %d journal row %d overflow (MaxJobs %d)", s.id, p, s.jlen))
 	}
-	s.mem.Write(s.jaddr(p, idx), int64(id))
+	if s.ackedW != nil {
+		if err := s.ackedW.WriteAcked(s.jaddr(p, idx), int64(id)); err != nil {
+			panic(fmt.Sprintf("dispatch: shard %d journal write for job %d failed (fenced or unreachable backend): %v", s.id, id, err))
+		}
+	} else {
+		s.mem.Write(s.jaddr(p, idx), int64(id))
+	}
 	s.jcur[p-1] = idx + 1
 }

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"errors"
 	"expvar"
+	"fmt"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/netmem"
 )
 
 // mmapFactory returns a Config.NewMem mapping each shard's register
@@ -343,6 +345,180 @@ func TestJournalFull(t *testing.T) {
 	// Config sanity: NewMem without MaxJobs is rejected.
 	if _, err := New(Config{NewMem: mmapFactory(dir)}); err == nil {
 		t.Fatal("NewMem without MaxJobs accepted")
+	}
+}
+
+// TestReopenAfterJournalFull: exhausting the journal is not a dead end
+// — the same configuration reopens over the same files, the whole
+// re-submitted stream resolves from the journal without re-running a
+// payload, and the capacity guard still holds for genuinely new ids.
+func TestReopenAfterJournalFull(t *testing.T) {
+	requireMmap(t)
+	const n = 24
+	dir := t.TempDir()
+	cfg := Config{
+		Shards: 1, Workers: 2, MaxBatch: 8,
+		NewMem: mmapFactory(dir), MaxJobs: n,
+	}
+	var runs atomic.Int64
+	fns := make([]Job, n)
+	for i := range fns {
+		fns[i] = func() { runs.Add(1) }
+	}
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d1.Flush()
+	if _, err := d1.Submit(func() {}); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("submit past MaxJobs: %v, want ErrJournalFull", err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen after ErrJournalFull refused: %v", err)
+	}
+	defer d2.Close()
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	if got := runs.Load(); got != n {
+		t.Fatalf("restart re-ran payloads: %d total, want %d", got, n)
+	}
+	if st := d2.Stats(); st.Recovered != n {
+		t.Fatalf("Recovered = %d, want %d", st.Recovered, n)
+	}
+	// The journal is still full: new ids keep being refused.
+	if _, err := d2.Submit(func() {}); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("submit past MaxJobs after reopen: %v, want ErrJournalFull", err)
+	}
+}
+
+// netFactory builds a Config.NewMem over an in-process register server,
+// one namespace per shard, recording the clients so the test can sever
+// them (simulating process death, which releases nothing until the
+// lease is explicitly dropped or expires).
+func netFactory(addr, ns string, clients *[]*netmem.NetMem) func(shard, size int) (membackend.Backend, error) {
+	return func(shard, size int) (membackend.Backend, error) {
+		m, err := netmem.Open(addr, size, netmem.Options{
+			Namespace: fmt.Sprintf("%s.shard%d", ns, shard),
+			LeaseTTL:  500 * time.Millisecond,
+			OnFatal:   func(error) {}, // a dead client shows up as errors, not a test-killing panic
+		})
+		if err != nil {
+			return nil, err
+		}
+		if clients != nil {
+			*clients = append(*clients, m)
+		}
+		return m, nil
+	}
+}
+
+// TestRecoverOverNetwork is TestRecoverMidRound transplanted onto the
+// networked register service: the registers, the journal and the
+// recovery scan all live on the other side of a TCP connection. The
+// journal path runs through WriteAcked (record-then-do with the record
+// acknowledged before the payload), the recovery scan through
+// ReadRange, and the window reset through Fill.
+func TestRecoverOverNetwork(t *testing.T) {
+	const (
+		n       = 600
+		workers = 4
+		killAt  = 24
+	)
+	srv := netmem.NewServer(netmem.ServerOptions{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ns := fmt.Sprintf("recover-%d", time.Now().UnixNano())
+	executions := make([]atomic.Int32, n+1)
+
+	// Phase 1: the doomed incarnation, frozen with every worker parked
+	// inside a payload whose journal record is already acknowledged by
+	// the server.
+	var clients []*netmem.NetMem
+	var performed, blocked atomic.Int64
+	gate := make(chan struct{})
+	d1, err := New(Config{
+		Shards: 1, Workers: workers, MaxBatch: 128,
+		NewMem: netFactory(addr, ns, &clients), MaxJobs: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() {
+			executions[id].Add(1)
+			if performed.Add(1) >= killAt {
+				blocked.Add(1)
+				<-gate
+			}
+		}
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all workers frozen mid-round", func() bool { return blocked.Load() == workers })
+	preCrash := performed.Load()
+	// Sever the frozen incarnation's clients: the process is "dead", its
+	// lease released. (Lease-expiry takeover without a release is the
+	// netmem fencing tests' and examples/failover's territory.)
+	for _, c := range clients {
+		c.Close()
+	}
+
+	// Phase 2: a successor over the network recovers the journal and
+	// finishes the stream.
+	d2, err := New(Config{
+		Shards: 1, Workers: workers, MaxBatch: 128,
+		NewMem: netFactory(addr, ns, nil), MaxJobs: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() { executions[id].Add(1) }
+	}
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	st := d2.Stats()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Recovered != uint64(preCrash) {
+		t.Errorf("recovered %d jobs over the network, want %d", st.Recovered, preCrash)
+	}
+	dup, lost := 0, 0
+	for id := 1; id <= n; id++ {
+		switch executions[id].Load() {
+		case 1:
+		case 0:
+			lost++
+		default:
+			dup++
+		}
+	}
+	if dup != 0 {
+		t.Errorf("at-most-once violated across the networked crash: %d duplicates", dup)
+	}
+	if lost != 0 {
+		t.Errorf("%d jobs lost across the networked crash", lost)
 	}
 }
 

@@ -21,9 +21,13 @@ type shard struct {
 
 	// Durable state (nil/zero for in-process shards): the register
 	// backend, the journal geometry and the per-worker append cursors.
-	// See durable.go for the register-file layout.
+	// See durable.go for the register-file layout. ackedW is the
+	// backend's AckedWriter capability when it has one (remote backends
+	// do): the journal writes through it so record-then-do holds across
+	// the network, not just across local process death.
 	backend membackend.Backend
 	mem     shmem.Mem
+	ackedW  membackend.AckedWriter
 	durable bool
 	jlen    int
 	rbase   int
@@ -255,6 +259,7 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) int {
 	s.stats.Work += res.Work
 	s.stats.LastBatch = n
 	s.stats.LastPerformed = performed
+	s.stats.EffHist[effBucket(performed, n)]++
 	s.mu.Unlock()
 	return performed
 }

@@ -8,17 +8,59 @@ import (
 // CountingMem wraps any backend with read/write counters, giving the
 // shared-access instrumentation of shmem.SimMem outside the simulator:
 // unlike SimMem it is safe for concurrent use (counters are atomic) and
-// composes with durable backends ("counting:mmap:PATH").
+// composes with durable backends ("counting:mmap:PATH"). The loopable
+// capabilities (AckedWriter, RangeReader, Filler) pass through to the
+// inner backend when it has them and fall back to the equivalent cell
+// loop when it does not, so wrapping never hides them — and every
+// access through a capability is counted with the same weights a
+// cell-at-a-time caller would pay. Swapper has no sound fallback (a
+// read-then-write emulation would not be atomic), so CountingMem
+// itself does not implement it; the registry's "counting:" opener
+// returns a CAS-capable wrapper exactly when the inner backend is a
+// Swapper, keeping type-assertion capability discovery honest.
 type CountingMem struct {
 	inner  Backend
 	reads  atomic.Uint64
 	writes atomic.Uint64
+	syncs  atomic.Uint64
 }
 
 var (
-	_ Backend  = (*CountingMem)(nil)
-	_ Reopener = (*CountingMem)(nil)
+	_ Backend     = (*CountingMem)(nil)
+	_ Reopener    = (*CountingMem)(nil)
+	_ AckedWriter = (*CountingMem)(nil)
+	_ RangeReader = (*CountingMem)(nil)
+	_ Filler      = (*CountingMem)(nil)
 )
+
+// swappingCounting is a CountingMem over a Swapper-capable inner
+// backend; only it advertises CompareAndSwap.
+type swappingCounting struct {
+	*CountingMem
+	sw Swapper
+}
+
+var _ Swapper = (*swappingCounting)(nil)
+
+// CompareAndSwap implements Swapper, counting one read and one write
+// (the access pattern a CAS subsumes).
+func (s *swappingCounting) CompareAndSwap(addr int, old, new int64) bool {
+	s.reads.Add(1)
+	s.writes.Add(1)
+	return s.sw.CompareAndSwap(addr, old, new)
+}
+
+// AsCounting unwraps the counting layer of a backend built by the
+// "counting:" spec (either counting flavor), or nil if b is not one.
+func AsCounting(b Backend) *CountingMem {
+	switch v := b.(type) {
+	case *CountingMem:
+		return v
+	case *swappingCounting:
+		return v.CountingMem
+	}
+	return nil
+}
 
 // NewCounting wraps inner with access counting.
 func NewCounting(inner Backend) *CountingMem {
@@ -40,8 +82,50 @@ func (c *CountingMem) Write(addr int, v int64) {
 // Size implements shmem.Mem.
 func (c *CountingMem) Size() int { return c.inner.Size() }
 
-// Sync implements Backend.
-func (c *CountingMem) Sync() error { return c.inner.Sync() }
+// WriteAcked implements AckedWriter, counting one write. An in-process
+// inner backend's plain Write is already acked by the time it returns.
+func (c *CountingMem) WriteAcked(addr int, v int64) error {
+	c.writes.Add(1)
+	if aw, ok := c.inner.(AckedWriter); ok {
+		return aw.WriteAcked(addr, v)
+	}
+	c.inner.Write(addr, v)
+	return nil
+}
+
+// ReadRange implements RangeReader, counting len(dst) reads.
+func (c *CountingMem) ReadRange(addr int, dst []int64) error {
+	c.reads.Add(uint64(len(dst)))
+	if rr, ok := c.inner.(RangeReader); ok {
+		return rr.ReadRange(addr, dst)
+	}
+	for i := range dst {
+		dst[i] = c.inner.Read(addr + i)
+	}
+	return nil
+}
+
+// Fill implements Filler, counting n writes.
+func (c *CountingMem) Fill(addr, n int, v int64) error {
+	if n < 0 {
+		return fmt.Errorf("membackend: negative fill count %d", n)
+	}
+	c.writes.Add(uint64(n))
+	if f, ok := c.inner.(Filler); ok {
+		return f.Fill(addr, n, v)
+	}
+	for i := 0; i < n; i++ {
+		c.inner.Write(addr+i, v)
+	}
+	return nil
+}
+
+// Sync implements Backend, counting the call (Syncs) and passing it
+// through to the inner backend.
+func (c *CountingMem) Sync() error {
+	c.syncs.Add(1)
+	return c.inner.Sync()
+}
 
 // Close implements Backend.
 func (c *CountingMem) Close() error { return c.inner.Close() }
@@ -63,6 +147,9 @@ func (c *CountingMem) Reads() uint64 { return c.reads.Load() }
 // Writes returns the number of Write calls observed.
 func (c *CountingMem) Writes() uint64 { return c.writes.Load() }
 
+// Syncs returns the number of Sync calls observed.
+func (c *CountingMem) Syncs() uint64 { return c.syncs.Load() }
+
 // Accesses returns Reads()+Writes().
 func (c *CountingMem) Accesses() uint64 { return c.reads.Load() + c.writes.Load() }
 
@@ -75,6 +162,10 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return NewCounting(inner), nil
+		c := NewCounting(inner)
+		if sw, ok := inner.(Swapper); ok {
+			return &swappingCounting{CountingMem: c, sw: sw}, nil
+		}
+		return c, nil
 	})
 }

@@ -14,10 +14,15 @@
 //     (internal/dispatch's recovery scan; DESIGN.md §7).
 //   - "counting:SPEC" — an instrumented wrapper around any other
 //     backend, counting reads and writes outside the simulator.
+//   - "net:HOST:PORT[/NAMESPACE]" — a remote register service: the cells
+//     live in an amo-regd server process and are accessed over a binary
+//     TCP protocol with single-writer lease arbitration. Implemented in
+//     internal/netmem, which registers the kind from its init; import it
+//     (the public atmostonce package does) before opening net specs.
 //
 // Backends are selected by spec string through Open, e.g.
-// Open("mmap:/var/lib/amo/shard.reg", size). Additional backends (a
-// networked register service, say) register themselves with Register.
+// Open("mmap:/var/lib/amo/shard.reg", size). Additional backends
+// register themselves with Register.
 //
 // See DESIGN.md §7 for the interface contract, the mmap file layout and
 // the multi-process atomicity caveats.
@@ -53,13 +58,54 @@ type Reopener interface {
 	Reopened() bool
 }
 
+// The interfaces below are optional backend capabilities, discovered by
+// type assertion. In-process backends satisfy them trivially (a plain
+// Write is already acked, a range read is a loop); they exist so remote
+// backends (internal/netmem) can expose the semantics a caller actually
+// needs — an acknowledged durable write, a batched scan — instead of
+// paying one network round trip per cell. internal/memtest exercises
+// whichever of them a backend implements.
+
+// AckedWriter is the capability of writing a cell and not returning
+// until the write has reached the backing store's ordering point (the
+// server, for a remote backend). The streaming dispatcher journals
+// through it: record-then-do is only safe when the record is known to
+// survive the writer's death before the payload runs. For in-process
+// backends plain Write already has that property.
+type AckedWriter interface {
+	WriteAcked(addr int, v int64) error
+}
+
+// RangeReader reads the len(dst) cells starting at addr in one
+// operation. The dispatcher's recovery scan uses it to pull whole
+// journal rows instead of cell-at-a-time.
+type RangeReader interface {
+	ReadRange(addr int, dst []int64) error
+}
+
+// Filler stores v into the n cells starting at addr in one operation.
+// The dispatcher uses it to re-zero the runtime register window on
+// recovery.
+type Filler interface {
+	Fill(addr, n int, v int64) error
+}
+
+// Swapper is per-cell compare-and-swap: if the cell at addr holds old,
+// store new and report true; otherwise leave it and report false. The
+// paper's algorithms never need it (they are read/write only); it backs
+// the register service's TAS emulation and test scaffolding.
+type Swapper interface {
+	CompareAndSwap(addr int, old, new int64) bool
+}
+
 // OpenFunc builds a backend with size cells from the spec's argument
 // (the part after "kind:", possibly empty).
 type OpenFunc func(arg string, size int) (Backend, error)
 
 var (
-	regMu    sync.RWMutex
-	registry = map[string]OpenFunc{}
+	regMu     sync.RWMutex
+	registry  = map[string]OpenFunc{}
+	suffixers = map[string]func(arg, suffix string) string{}
 )
 
 // Register adds a backend kind to the registry. It panics on a
@@ -71,6 +117,20 @@ func Register(kind string, open OpenFunc) {
 		panic("membackend: duplicate backend kind " + kind)
 	}
 	registry[kind] = open
+}
+
+// RegisterSuffixer teaches WithSuffix how a kind's spec argument takes
+// an instance suffix, so each backend owns its own spec grammar (the
+// net backend's host/namespace/option syntax lives in internal/netmem,
+// not here). Kinds without a suffixer pass through WithSuffix
+// unchanged.
+func RegisterSuffixer(kind string, fn func(arg, suffix string) string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := suffixers[kind]; dup {
+		panic("membackend: duplicate suffixer for kind " + kind)
+	}
+	suffixers[kind] = fn
 }
 
 // Kinds returns the registered backend kinds, sorted.
@@ -87,52 +147,122 @@ func Kinds() []string {
 
 // Open builds the backend a spec names, with size cells. A spec is
 // "kind" or "kind:argument"; wrapper kinds (counting) take a nested
-// spec as their argument. An empty spec means "atomic".
+// spec as their argument. An empty spec means "atomic". Malformed specs
+// — surrounding whitespace, an empty kind, a dangling ":" — are
+// rejected with errors that say how to fix them, and an unknown kind's
+// error suggests the nearest registered kind.
 func Open(spec string, size int) (Backend, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("membackend: need a positive size, got %d", size)
 	}
-	kind, arg := splitSpec(spec)
+	kind, arg, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 	regMu.RLock()
 	open, ok := registry[kind]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("membackend: unknown backend %q (have %s)", kind, strings.Join(Kinds(), ", "))
+		hint := ""
+		if near := nearestKind(kind); near != "" {
+			hint = fmt.Sprintf(" — did you mean %q?", near)
+		}
+		return nil, fmt.Errorf("membackend: unknown backend %q in spec %q%s (have %s)",
+			kind, spec, hint, strings.Join(Kinds(), ", "))
 	}
 	return open(arg, size)
 }
 
+// parseSpec splits a spec into kind and argument, rejecting the
+// malformed shapes that would otherwise fail deep inside a backend (or
+// worse, be silently accepted): surrounding whitespace, an empty kind
+// (":arg"), and a dangling ":" with nothing after it.
+func parseSpec(spec string) (kind, arg string, err error) {
+	if spec == "" {
+		return "atomic", "", nil
+	}
+	if strings.TrimSpace(spec) != spec {
+		return "", "", fmt.Errorf("membackend: spec %q has surrounding whitespace; remove it", spec)
+	}
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return spec, "", nil
+	}
+	kind, arg = spec[:i], spec[i+1:]
+	if kind == "" {
+		return "", "", fmt.Errorf("membackend: spec %q has an empty backend kind before ':' (want e.g. %q)", spec, "mmap:/path/regs")
+	}
+	if arg == "" {
+		return "", "", fmt.Errorf("membackend: spec %q has a dangling ':' with no argument; write just %q, or give an argument (e.g. %q)", spec, kind, kind+":ARG")
+	}
+	return kind, arg, nil
+}
+
+// nearestKind returns the registered kind closest to the misspelled one
+// (edit distance at most 2), or "" when nothing is plausibly close.
+func nearestKind(kind string) string {
+	best, bestDist := "", 3
+	for _, k := range Kinds() {
+		if d := editDistance(kind, k); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// editDistance is plain Levenshtein distance; specs and kind names are
+// tiny, so the quadratic table is free.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 // ShardSpec rewrites a spec for one shard of a sharded deployment:
-// path-bearing kinds (mmap) get a ".shard<i>" suffix so every shard
-// maps its own file; volatile kinds pass through unchanged. Wrappers
-// rewrite their inner spec.
+// instance-bearing kinds (mmap paths, net namespaces) get a ".shard<i>"
+// suffix so every shard owns its own register set; volatile kinds pass
+// through unchanged. Wrappers rewrite their inner spec.
 func ShardSpec(spec string, shard int) string {
 	return WithSuffix(spec, fmt.Sprintf(".shard%d", shard))
 }
 
-// WithSuffix appends suffix to the path of a spec's path-bearing
-// terminal kind (mmap), recursing through wrappers (counting); specs
-// without a path pass through unchanged. Callers that need several
-// independent instances of one spec (shards, bench sweep points) use it
-// to derive per-instance file names.
+// WithSuffix appends suffix to the instance name of a spec's terminal
+// kind — the file path for mmap, the namespace for net (before any
+// "?option" tail) — recursing through wrappers (counting); kinds
+// without an instance name pass through unchanged, as do specs Open
+// would reject. Callers that need several independent instances of one
+// spec (shards, bench sweep points) use it to derive per-instance
+// names.
 func WithSuffix(spec, suffix string) string {
-	kind, arg := splitSpec(spec)
+	kind, arg, err := parseSpec(spec)
+	if err != nil {
+		return spec
+	}
 	switch kind {
 	case "mmap":
 		return kind + ":" + arg + suffix
 	case "counting":
 		return kind + ":" + WithSuffix(arg, suffix)
-	default:
-		return spec
 	}
-}
-
-func splitSpec(spec string) (kind, arg string) {
-	if spec == "" {
-		return "atomic", ""
+	regMu.RLock()
+	fn := suffixers[kind]
+	regMu.RUnlock()
+	if fn != nil {
+		return kind + ":" + fn(arg, suffix)
 	}
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		return spec[:i], spec[i+1:]
-	}
-	return spec, ""
+	return spec
 }

@@ -2,6 +2,7 @@ package membackend
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -92,7 +93,7 @@ func TestCountingCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := b.(*CountingMem)
+	c := AsCounting(b)
 	c.Write(0, 7)
 	c.Write(1, 8)
 	if c.Read(0) != 7 {
@@ -103,6 +104,200 @@ func TestCountingCounts(t *testing.T) {
 	}
 	if c.Reopened() {
 		t.Fatal("volatile inner backend reported Reopened")
+	}
+}
+
+// TestParseSpec is the parser's table test: well-formed specs split
+// into kind/argument, malformed ones are rejected with errors that name
+// the problem.
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec       string
+		kind, arg  string
+		errPattern string // substring of the expected error; "" = ok
+	}{
+		{"", "atomic", "", ""},
+		{"atomic", "atomic", "", ""},
+		{"mmap:/var/lib/amo/regs", "mmap", "/var/lib/amo/regs", ""},
+		{"counting:mmap:/x", "counting", "mmap:/x", ""},
+		{"net:127.0.0.1:7878/jobs", "net", "127.0.0.1:7878/jobs", ""},
+		{"atomic:", "", "", "dangling ':'"},
+		{"mmap:", "", "", "dangling ':'"},
+		{"counting:", "", "", "dangling ':'"},
+		{":mmap", "", "", "empty backend kind"},
+		{":", "", "", "empty backend kind"},
+		{" atomic", "", "", "whitespace"},
+		{"atomic ", "", "", "whitespace"},
+		{"mmap:/x ", "", "", "whitespace"},
+		{"\tatomic", "", "", "whitespace"},
+	}
+	for _, c := range cases {
+		kind, arg, err := parseSpec(c.spec)
+		if c.errPattern == "" {
+			if err != nil {
+				t.Errorf("parseSpec(%q): unexpected error %v", c.spec, err)
+			} else if kind != c.kind || arg != c.arg {
+				t.Errorf("parseSpec(%q) = %q, %q, want %q, %q", c.spec, kind, arg, c.kind, c.arg)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("parseSpec(%q) accepted, want error containing %q", c.spec, c.errPattern)
+		} else if !strings.Contains(err.Error(), c.errPattern) {
+			t.Errorf("parseSpec(%q) error %q does not mention %q", c.spec, err, c.errPattern)
+		}
+	}
+}
+
+// TestOpenMalformedSpecs checks the same hardening end to end through
+// Open, including the near-miss suggestion for misspelled kinds.
+func TestOpenMalformedSpecs(t *testing.T) {
+	for spec, want := range map[string]string{
+		"atomic:":        "dangling ':'",
+		"mmap:":          "dangling ':'",
+		"counting:atomc": `did you mean "atomic"`,
+		"atomc":          `did you mean "atomic"`,
+		"mmmap:/x":       `did you mean "mmap"`,
+		"couting:atomic": `did you mean "counting"`,
+		"zzz":            "unknown backend",
+		" atomic":        "whitespace",
+	} {
+		if _, err := Open(spec, 8); err == nil {
+			t.Errorf("Open(%q) accepted, want error containing %q", spec, want)
+		} else if !strings.Contains(err.Error(), want) {
+			t.Errorf("Open(%q) error %q does not mention %q", spec, err, want)
+		}
+	}
+	// A kind nothing is close to gets no suggestion, just the inventory.
+	if _, err := Open("postgres:dsn", 8); err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off kind got a suggestion: %v", err)
+	}
+}
+
+// recordingBackend logs the order of operations it receives, so wrapper
+// passthrough ordering is observable.
+type recordingBackend struct {
+	AtomicBackend
+	ops []string
+}
+
+func (r *recordingBackend) Write(addr int, v int64) {
+	r.ops = append(r.ops, fmt.Sprintf("write %d=%d", addr, v))
+	r.AtomicBackend.Write(addr, v)
+}
+
+func (r *recordingBackend) Sync() error {
+	r.ops = append(r.ops, "sync")
+	return nil
+}
+
+// TestCountingSyncPassthrough pins the wrapper contract satellite: Sync
+// calls pass through to the inner backend in program order relative to
+// writes (a Sync issued after a write must reach the store after it),
+// and the wrapper counts them.
+func TestCountingSyncPassthrough(t *testing.T) {
+	inner := &recordingBackend{AtomicBackend: NewAtomic(8)}
+	c := NewCounting(inner)
+	c.Write(0, 1)
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteAcked(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"write 0=1", "sync", "write 1=2", "sync"}
+	if len(inner.ops) != len(want) {
+		t.Fatalf("inner saw %v, want %v", inner.ops, want)
+	}
+	for i := range want {
+		if inner.ops[i] != want[i] {
+			t.Fatalf("inner op %d = %q, want %q (full: %v)", i, inner.ops[i], want[i], inner.ops)
+		}
+	}
+	if c.Syncs() != 2 {
+		t.Fatalf("Syncs() = %d, want 2", c.Syncs())
+	}
+	if c.Writes() != 2 {
+		t.Fatalf("Writes() = %d, want 2 (WriteAcked must count)", c.Writes())
+	}
+}
+
+// TestCountingDurableSync drives Sync counting through a real durable
+// inner backend (counting:mmap) and checks the flushed state survives a
+// reopen — i.e. the wrapper forwarded the msync rather than absorbing
+// it.
+func TestCountingDurableSync(t *testing.T) {
+	requireMmap(t)
+	path := filepath.Join(t.TempDir(), "regs")
+	b, err := Open("counting:mmap:"+path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := AsCounting(b)
+	c.Write(3, 77)
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Syncs() != 1 {
+		t.Fatalf("Syncs() = %d, want 1", c.Syncs())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open("counting:mmap:"+path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !AsCounting(r).Reopened() {
+		t.Fatal("reopened durable file not reported")
+	}
+	if got := r.Read(3); got != 77 {
+		t.Fatalf("cell 3 reads %d after reopen, want 77", got)
+	}
+}
+
+// TestCountingCapabilities exercises the capability passthroughs and
+// their counting weights over a capability-less inner backend (the
+// fallback loops).
+func TestCountingCapabilities(t *testing.T) {
+	b, err := Open("counting:atomic", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := AsCounting(b)
+	if err := c.Fill(4, 4, 9); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int64, 6)
+	if err := c.ReadRange(3, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 9, 9, 9, 9, 0}
+	for i, v := range want {
+		if dst[i] != v {
+			t.Fatalf("ReadRange[%d] = %d, want %d", i, dst[i], v)
+		}
+	}
+	sw, ok := b.(Swapper)
+	if !ok {
+		t.Fatal("counting over a Swapper inner does not advertise CAS")
+	}
+	if !sw.CompareAndSwap(4, 9, 10) {
+		t.Fatal("CAS with matching old failed")
+	}
+	if sw.CompareAndSwap(4, 9, 11) {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	if got := c.Read(4); got != 10 {
+		t.Fatalf("cell 4 = %d after CAS, want 10", got)
+	}
+	// Weights: Fill = 4 writes, ReadRange = 6 reads, 2 CAS = 2r+2w, Read = 1r.
+	if c.Writes() != 4+2 || c.Reads() != 6+2+1 {
+		t.Fatalf("counters reads=%d writes=%d, want 9/6", c.Reads(), c.Writes())
 	}
 }
 
@@ -138,6 +333,10 @@ func TestShardSpec(t *testing.T) {
 		{"mmap:/tmp/x", "2", "mmap:/tmp/x.shard2"},
 		{"counting:mmap:/tmp/x", "1", "counting:mmap:/tmp/x.shard1"},
 		{"counting:atomic", "3", "counting:atomic"},
+		// The "net" kind's suffix grammar is owned by internal/netmem
+		// (RegisterSuffixer) and tested there; unregistered kinds pass
+		// through untouched.
+		{"net:127.0.0.1:7878/jobs", "2", "net:127.0.0.1:7878/jobs"},
 	}
 	for _, c := range cases {
 		shard := int(c[1][0] - '0')

@@ -147,6 +147,12 @@ func (m *MmapMem) Read(addr int) int64 { return m.cells[addr].Load() }
 // Write implements shmem.Mem.
 func (m *MmapMem) Write(addr int, v int64) { m.cells[addr].Store(v) }
 
+// CompareAndSwap implements the optional Swapper capability with a real
+// atomic compare-and-swap on the mapped cell.
+func (m *MmapMem) CompareAndSwap(addr int, old, new int64) bool {
+	return m.cells[addr].CompareAndSwap(old, new)
+}
+
 // Size implements shmem.Mem.
 func (m *MmapMem) Size() int { return len(m.cells) }
 

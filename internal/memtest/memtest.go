@@ -1,8 +1,9 @@
 // Package memtest is the conformance suite every register backend must
 // pass: one shared battery of subtests exercised against SimMem,
-// AtomicMem, MmapMem and CountingMem, so a new shmem.Mem implementation
-// inherits the contract checks instead of re-inventing them. Run it
-// from the backend's own test file:
+// AtomicMem, MmapMem, CountingMem and the networked NetMem (against a
+// live server), so a new shmem.Mem implementation inherits the
+// contract checks instead of re-inventing them. Run it from the
+// backend's own test file:
 //
 //	memtest.RunMemSuite(t, memtest.Factory{
 //		New: func(t *testing.T, size int) shmem.Mem { ... },
@@ -59,6 +60,98 @@ func RunMemSuite(t *testing.T, f Factory) {
 		}
 		testReopen(t, f)
 	})
+	t.Run("Capabilities", func(t *testing.T) { testCapabilities(t, f) })
+}
+
+// Local structural mirrors of membackend's optional capability
+// interfaces (AckedWriter, RangeReader, Filler, Swapper). They are
+// redeclared here instead of imported because membackend's own tests
+// run this suite from inside package membackend — importing it back
+// would be an import cycle — and Go interface satisfaction is
+// structural, so the assertions are equivalent.
+type (
+	ackedWriter interface {
+		WriteAcked(addr int, v int64) error
+	}
+	rangeReader interface {
+		ReadRange(addr int, dst []int64) error
+	}
+	filler interface {
+		Fill(addr, n int, v int64) error
+	}
+	swapper interface {
+		CompareAndSwap(addr int, old, new int64) bool
+	}
+)
+
+// testCapabilities checks whichever of the optional membackend
+// capability interfaces the backend implements against the plain
+// Read/Write semantics: WriteAcked is a write, ReadRange sees exactly
+// what per-cell reads see, Fill covers its range and nothing else, and
+// CompareAndSwap succeeds precisely on a matching old value. Backends
+// with none of the capabilities pass vacuously.
+func testCapabilities(t *testing.T, f Factory) {
+	const size = 64
+	m := f.New(t, size)
+	any := false
+	if aw, ok := m.(ackedWriter); ok {
+		any = true
+		if err := aw.WriteAcked(7, 1234); err != nil {
+			t.Fatalf("WriteAcked: %v", err)
+		}
+		if got := m.Read(7); got != 1234 {
+			t.Fatalf("cell 7 reads %d after WriteAcked, want 1234", got)
+		}
+	}
+	for a := 0; a < size; a++ {
+		m.Write(a, int64(a)*3+1)
+	}
+	if rr, ok := m.(rangeReader); ok {
+		any = true
+		dst := make([]int64, 17)
+		if err := rr.ReadRange(5, dst); err != nil {
+			t.Fatalf("ReadRange: %v", err)
+		}
+		for i, v := range dst {
+			if want := m.Read(5 + i); v != want {
+				t.Fatalf("ReadRange[%d] = %d, per-cell read says %d", i, v, want)
+			}
+		}
+	}
+	if fl, ok := m.(filler); ok {
+		any = true
+		if err := fl.Fill(10, 20, -7); err != nil {
+			t.Fatalf("Fill: %v", err)
+		}
+		for a := 0; a < size; a++ {
+			want := int64(a)*3 + 1
+			if a >= 10 && a < 30 {
+				want = -7
+			}
+			if got := m.Read(a); got != want {
+				t.Fatalf("cell %d = %d after Fill(10,20), want %d", a, got, want)
+			}
+		}
+	}
+	if sw, ok := m.(swapper); ok {
+		any = true
+		m.Write(40, 5)
+		if sw.CompareAndSwap(40, 6, 7) {
+			t.Fatal("CAS with stale old succeeded")
+		}
+		if got := m.Read(40); got != 5 {
+			t.Fatalf("failed CAS mutated the cell to %d", got)
+		}
+		if !sw.CompareAndSwap(40, 5, 7) {
+			t.Fatal("CAS with matching old failed")
+		}
+		if got := m.Read(40); got != 7 {
+			t.Fatalf("cell = %d after CAS, want 7", got)
+		}
+	}
+	if !any {
+		t.Skip("backend implements no optional capabilities")
+	}
 }
 
 func testZeroInit(t *testing.T, f Factory) {

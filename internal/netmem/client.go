@@ -1,0 +1,1019 @@
+package netmem
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"atmostonce/internal/membackend"
+	"atmostonce/internal/shmem"
+)
+
+// Sentinel errors surfaced by the client.
+var (
+	// ErrFenced means a newer writer was granted the namespace lease and
+	// the server is rejecting this client's writes. The client is dead:
+	// continuing would violate the single-writer contract the dispatcher
+	// journal depends on. The default OnFatal panics with this error —
+	// deliberate process suicide, the fencing analogue of a crash.
+	ErrFenced = errors.New("netmem: fenced: a newer writer holds the lease")
+	// ErrLeaseHeld is returned by Open in fail-fast mode when another
+	// writer holds the lease.
+	ErrLeaseHeld = errors.New("netmem: lease held by another writer")
+	// ErrClosed is returned by operations after Close.
+	ErrClosed = errors.New("netmem: backend is closed")
+)
+
+// Options configures a NetMem client. The zero value is usable: 2s
+// lease, waiting acquire, panic on fatal errors.
+type Options struct {
+	// Namespace selects the register set on the server (default
+	// "default").
+	Namespace string
+	// LeaseTTL is the writer-lease duration requested from the server
+	// (default 2s, clamped by the server). The client renews every
+	// TTL/3.
+	LeaseTTL time.Duration
+	// FailFast makes Open return ErrLeaseHeld instead of waiting when
+	// another writer holds the lease. The default (wait) is what a
+	// standby dispatcher wants: block until the incumbent's lease
+	// expires, then take over.
+	FailFast bool
+	// AcquireTimeout bounds how long a waiting Open may block on the
+	// lease (0 = no bound).
+	AcquireTimeout time.Duration
+	// DialTimeout bounds each dial and the handshake replies (default
+	// 5s).
+	DialTimeout time.Duration
+	// RedialAttempts is how many consecutive dial failures the
+	// reconnect path tolerates before declaring the backend dead
+	// (default 8); RedialBackoff is the initial pause between attempts,
+	// doubled each time (default 25ms).
+	RedialAttempts int
+	RedialBackoff  time.Duration
+	// OnFatal is invoked when the backend dies under an interface that
+	// cannot return errors (Read/Write): fenced, lease lost during a
+	// reconnect, redial budget exhausted. The default panics — for a
+	// fenced dispatcher that is correct behavior: a zombie writer must
+	// die, not compute on. Override it in tests or in callers with their
+	// own shutdown path.
+	OnFatal func(error)
+	// Logf, when non-nil, receives reconnect and lease events.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) normalize() {
+	if o.Namespace == "" {
+		o.Namespace = "default"
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 2 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RedialAttempts <= 0 {
+		o.RedialAttempts = 8
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 25 * time.Millisecond
+	}
+	if o.OnFatal == nil {
+		o.OnFatal = func(err error) { panic(err) }
+	}
+}
+
+// pendingOp is one request in flight: sent (or queued for resend), not
+// yet acknowledged. The client keeps them FIFO; the server answers in
+// order, so the front of the queue always matches the next reply.
+type pendingOp struct {
+	op    byte
+	seq   uint32
+	addr  int
+	val   int64 // write/fill value, CAS new
+	old   int64 // CAS old
+	count int   // fill/range count
+	vals  []int64
+	// done is non-nil for awaited ops; the reader goroutine fills res*
+	// and closes it. Fire-and-forget writes leave it nil: their ack is
+	// still consumed (and checked for errors) in order.
+	done    chan struct{}
+	err     error
+	swapped bool
+}
+
+// NetMem is the remote register backend: shmem.Mem plus the membackend
+// lifecycle and capabilities, over one TCP connection to a register
+// server. Plain Writes are pipelined — sent without waiting for the
+// acknowledgement, which the background reader consumes in order — so a
+// burst of register traffic costs one round trip, not one per cell;
+// Read, WriteAcked, ReadRange, Fill, CompareAndSwap and Sync wait for
+// their reply. All methods are safe for concurrent use.
+//
+// A broken connection is redialed with backoff; the handshake
+// revalidates the existing lease with a renew — the epoch does not move
+// — and every unacknowledged operation is resent in order, so callers
+// never observe the reconnect. A fenced renew means another writer was
+// granted the lease while we were away: the registers are no longer
+// ours to resume, and the client declares itself dead (OnFatal) instead
+// of continuing.
+type NetMem struct {
+	addr     string
+	size     int
+	opts     Options
+	clientID uint64
+
+	mu          sync.Mutex
+	cond        *sync.Cond // conn became usable, or outstanding drained
+	conn        net.Conn
+	bw          *bufio.Writer
+	gen         uint64 // connection generation, so stale readers stand down
+	seq         uint32
+	epoch       uint64
+	reopened    bool
+	outstanding []*pendingOp
+	fatal       error
+	closed      bool
+	redialing   bool
+	renewStop   chan struct{}
+	renewOnce   sync.Once
+	scratch     []byte
+}
+
+// maxOutstanding bounds the pipelined requests in flight. The bound is
+// what makes the pipeline deadlock-free: at 2048 small frames, neither
+// direction's requests-plus-replies can fill both peers' socket and
+// bufio buffers, so the server is always able to ingest what a sender
+// flushes while the reader goroutine briefly holds the client lock.
+const maxOutstanding = 2048
+
+var (
+	_ membackend.Backend     = (*NetMem)(nil)
+	_ membackend.Reopener    = (*NetMem)(nil)
+	_ membackend.AckedWriter = (*NetMem)(nil)
+	_ membackend.RangeReader = (*NetMem)(nil)
+	_ membackend.Filler      = (*NetMem)(nil)
+	_ membackend.Swapper     = (*NetMem)(nil)
+	_ shmem.Mem              = (*NetMem)(nil)
+)
+
+// Open dials addr, attaches to (or creates) the namespace with size
+// cells, and acquires the writer lease per the options.
+func Open(addr string, size int, opts Options) (*NetMem, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("netmem: need a positive size, got %d", size)
+	}
+	opts.normalize()
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, fmt.Errorf("netmem: client id: %w", err)
+	}
+	m := &NetMem{
+		addr:     addr,
+		size:     size,
+		opts:     opts,
+		clientID: binary.LittleEndian.Uint64(idb[:]) | 1, // never 0
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.renewStop = make(chan struct{})
+	if err := m.connect(true); err != nil {
+		return nil, err
+	}
+	go m.renewLoop()
+	return m, nil
+}
+
+func (m *NetMem) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+// connect dials, handshakes and installs the connection. With first
+// set it is Open's synchronous path: hello + lease acquire (which may
+// wait out an incumbent). Otherwise it is one reconnect attempt: hello
+// + a renew of the lease we already hold — the epoch does not move, so
+// resent operations stay valid, and a fenced renew proves a successor
+// took over while we were away (fatal). The dial and handshake run
+// without the lock (they block); installation and the resend of
+// outstanding ops happen under it.
+func (m *NetMem) connect(first bool) error {
+	conn, err := net.DialTimeout("tcp", m.addr, m.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	reopened, err := m.hello(conn, br, bw)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	var epoch uint64
+	if first {
+		if epoch, err = m.acquireLease(conn, br, bw); err != nil {
+			conn.Close()
+			return err
+		}
+	} else {
+		m.mu.Lock()
+		epoch = m.epoch
+		m.mu.Unlock()
+		if err := m.renewOnConn(conn, br, bw, epoch); err != nil {
+			conn.Close()
+			if errors.Is(err, ErrFenced) {
+				m.fatalize(err)
+			}
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed || m.fatal != nil {
+		m.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	m.conn, m.bw = conn, bw
+	m.gen++
+	m.epoch = epoch
+	if first {
+		m.reopened = reopened
+	}
+	// Resend everything the old connection never acknowledged, in
+	// order, re-stamped with the fresh epoch. Registers are absolute
+	// stores and reads, so re-applying a prefix the server already
+	// executed is harmless. A failure here un-installs the connection
+	// and reports to the caller (Open fails; the redial loop retries).
+	gen := m.gen
+	resendErr := func() error {
+		for _, op := range m.outstanding {
+			op.seq = m.nextSeqLocked()
+			if err := writeFrame(bw, op.op, op.seq, m.encodeLocked(op)); err != nil {
+				return err
+			}
+		}
+		if len(m.outstanding) > 0 {
+			return bw.Flush()
+		}
+		return nil
+	}()
+	if resendErr != nil {
+		m.conn, m.bw = nil, nil
+		m.mu.Unlock()
+		conn.Close()
+		return resendErr
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	go m.readLoop(gen, br)
+	return nil
+}
+
+// hello performs the namespace attach on a fresh connection,
+// synchronously (no reader goroutine exists yet).
+func (m *NetMem) hello(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (reopened bool, err error) {
+	conn.SetDeadline(time.Now().Add(m.opts.DialTimeout))
+	defer conn.SetDeadline(time.Time{})
+	payload := appendU64(appendStr(nil, m.opts.Namespace), uint64(m.size))
+	if err := writeFrame(bw, opHello, 0, payload); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	op, _, reply, _, err := readFrame(br, nil)
+	if err != nil {
+		return false, err
+	}
+	if op == opErr {
+		return false, decodeErr(reply)
+	}
+	if op != opHelloOK {
+		return false, fmt.Errorf("netmem: unexpected hello reply op %d", op)
+	}
+	d := decoder{b: reply}
+	reopened = d.u8() != 0
+	return reopened, d.done()
+}
+
+// renewOnConn revalidates the client's existing lease during a
+// reconnect handshake, synchronously (no reader goroutine exists yet).
+// The server replies immediately — a renew never parks — so the dial
+// timeout bounds it.
+func (m *NetMem) renewOnConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, epoch uint64) error {
+	conn.SetDeadline(time.Now().Add(m.opts.DialTimeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := writeFrame(bw, opRenew, 0, appendU64(nil, epoch)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	op, _, reply, _, err := readFrame(br, nil)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opAck:
+		return nil
+	case opErr:
+		return decodeErr(reply)
+	default:
+		return fmt.Errorf("netmem: unexpected renew reply op %d", op)
+	}
+}
+
+// acquireLease asks for the writer lease on the first connection,
+// honoring FailFast and AcquireTimeout. On the wait path the reply can
+// take as long as the incumbent's remaining lease.
+func (m *NetMem) acquireLease(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (uint64, error) {
+	wait := byte(1)
+	if m.opts.FailFast {
+		wait = 0
+	}
+	deadline := time.Time{}
+	if m.opts.FailFast {
+		deadline = time.Now().Add(m.opts.DialTimeout)
+	} else if m.opts.AcquireTimeout > 0 {
+		deadline = time.Now().Add(m.opts.AcquireTimeout)
+	}
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	payload := appendU64(appendU64(nil, m.clientID), uint64(m.opts.LeaseTTL/time.Millisecond))
+	payload = append(payload, wait)
+	if err := writeFrame(bw, opAcquire, 0, payload); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	op, _, reply, _, err := readFrame(br, nil)
+	if err != nil {
+		return 0, err
+	}
+	if op == opErr {
+		return 0, decodeErr(reply)
+	}
+	if op != opAcquireOK {
+		return 0, fmt.Errorf("netmem: unexpected acquire reply op %d", op)
+	}
+	d := decoder{b: reply}
+	epoch := d.u64()
+	granted := time.Duration(d.u64()) * time.Millisecond
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	if granted > 0 && granted < m.opts.LeaseTTL {
+		m.logf("netmem: server clamped lease ttl to %s", granted)
+		m.opts.LeaseTTL = granted
+	}
+	return epoch, nil
+}
+
+// decodeErr turns an opErr payload into a Go error, mapping the fencing
+// and lease codes onto their sentinels.
+func decodeErr(payload []byte) error {
+	d := decoder{b: payload}
+	code := d.u16()
+	msg := d.str()
+	if d.done() != nil {
+		return fmt.Errorf("netmem: malformed error frame")
+	}
+	switch code {
+	case codeFenced:
+		return fmt.Errorf("%w (%s)", ErrFenced, msg)
+	case codeLeaseHeld:
+		return fmt.Errorf("%w (%s)", ErrLeaseHeld, msg)
+	default:
+		return &wireError{code, msg}
+	}
+}
+
+func (m *NetMem) nextSeqLocked() uint32 {
+	m.seq++
+	return m.seq
+}
+
+// encodeLocked builds op's payload into the shared scratch buffer,
+// stamping mutating ops with the current epoch.
+func (m *NetMem) encodeLocked(op *pendingOp) []byte {
+	b := m.scratch[:0]
+	switch op.op {
+	case opRead:
+		b = appendU64(b, uint64(op.addr))
+	case opWrite:
+		b = appendU64(b, m.epoch)
+		b = appendU64(b, uint64(op.addr))
+		b = appendI64(b, op.val)
+	case opReadRange:
+		b = appendU64(b, uint64(op.addr))
+		b = appendU32(b, uint32(op.count))
+	case opFill:
+		b = appendU64(b, m.epoch)
+		b = appendU64(b, uint64(op.addr))
+		b = appendU32(b, uint32(op.count))
+		b = appendI64(b, op.val)
+	case opCAS:
+		b = appendU64(b, m.epoch)
+		b = appendU64(b, uint64(op.addr))
+		b = appendI64(b, op.old)
+		b = appendI64(b, op.val)
+	case opRenew, opRelease:
+		b = appendU64(b, m.epoch)
+	case opSync:
+		// empty
+	default:
+		panic(fmt.Sprintf("netmem: encode of unexpected op %d", op.op))
+	}
+	m.scratch = b
+	return b
+}
+
+// flushThreshold is the buffered-bytes point past which a pipelined
+// write flushes eagerly instead of waiting for the next awaited op.
+const flushThreshold = 32 << 10
+
+// send queues op on the connection. Awaited ops (done != nil) flush and
+// block until the reader delivers their reply; pipelined writes return
+// after buffering. When the connection is down, send waits for the
+// redialer rather than failing: reconnection is the client's job, not
+// the caller's.
+func (m *NetMem) send(op *pendingOp) error {
+	m.mu.Lock()
+	for {
+		if m.fatal != nil {
+			err := m.fatal
+			m.mu.Unlock()
+			return err
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		if m.conn != nil {
+			if len(m.outstanding) < maxOutstanding {
+				break
+			}
+			// Queue full: push the buffered tail out so its acks can
+			// drain the queue while we wait.
+			if err := m.bw.Flush(); err != nil {
+				m.breakConnLocked(err)
+				continue
+			}
+		}
+		m.cond.Wait()
+	}
+	op.seq = m.nextSeqLocked()
+	m.outstanding = append(m.outstanding, op)
+	if err := writeFrame(m.bw, op.op, op.seq, m.encodeLocked(op)); err != nil {
+		m.breakConnLocked(err)
+	} else if op.done != nil || m.bw.Buffered() > flushThreshold {
+		if err := m.bw.Flush(); err != nil {
+			m.breakConnLocked(err)
+		}
+	}
+	m.mu.Unlock()
+	if op.done == nil {
+		return nil
+	}
+	<-op.done
+	return op.err
+}
+
+// readLoop consumes replies for one connection generation and matches
+// them FIFO against the outstanding queue.
+func (m *NetMem) readLoop(gen uint64, br *bufio.Reader) {
+	var buf []byte
+	for {
+		op, seq, payload, nbuf, err := readFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			m.breakConn(gen, err)
+			return
+		}
+		if fatal := m.deliver(gen, op, seq, payload); fatal != nil {
+			m.fatalize(fatal)
+			return
+		}
+		m.mu.Lock()
+		stale := m.gen != gen
+		m.mu.Unlock()
+		if stale {
+			return
+		}
+	}
+}
+
+// deliver matches one reply to the front of the outstanding queue. It
+// returns a non-nil error only for fatal conditions (fencing, protocol
+// corruption); per-op errors on awaited ops go to the waiter.
+func (m *NetMem) deliver(gen uint64, op byte, seq uint32, payload []byte) error {
+	m.mu.Lock()
+	if m.gen != gen || m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	if len(m.outstanding) == 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("netmem: reply op %d with nothing outstanding", op)
+	}
+	p := m.outstanding[0]
+	if p.seq != seq {
+		m.mu.Unlock()
+		return fmt.Errorf("netmem: reply seq %d, expected %d", seq, p.seq)
+	}
+	m.outstanding = m.outstanding[1:]
+	// Wake senders parked on the in-flight bound and Sync/Close waiters
+	// watching for the queue to drain.
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	// fail delivers a fatal decode error to p's waiter (p is already off
+	// the outstanding queue, so the fatalize that follows in readLoop
+	// cannot wake it) and passes the error through.
+	fail := func(err error) error {
+		if p.done != nil {
+			p.err = err
+			close(p.done)
+		}
+		return err
+	}
+	var opErrv error
+	if op == opErr {
+		opErrv = decodeErr(payload)
+	}
+	switch {
+	case opErrv != nil:
+		// A failed pipelined write has no caller to inform, and a fenced
+		// reply dooms the whole client either way. Poison the client
+		// BEFORE waking the waiter, so no concurrent operation can slip
+		// through between the waiter learning of the fence and the
+		// client dying.
+		fatal := errors.Is(opErrv, ErrFenced) || p.done == nil
+		if fatal {
+			m.fatalize(opErrv)
+		}
+		if p.done != nil {
+			p.err = opErrv
+			close(p.done)
+		}
+		if fatal {
+			return opErrv
+		}
+		return nil
+	case op == opAck:
+		if p.done != nil {
+			close(p.done)
+		}
+		return nil
+	case op == opValue:
+		d := decoder{b: payload}
+		p.val = d.i64()
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		if p.done != nil {
+			close(p.done)
+		}
+		return nil
+	case op == opValues:
+		if len(payload)%8 != 0 || len(payload)/8 != p.count {
+			return fail(fmt.Errorf("netmem: range reply holds %d bytes for %d cells", len(payload), p.count))
+		}
+		for i := 0; i < p.count; i++ {
+			p.vals[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+		if p.done != nil {
+			close(p.done)
+		}
+		return nil
+	case op == opCASResult:
+		d := decoder{b: payload}
+		p.swapped = d.u8() != 0
+		p.val = d.i64()
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		if p.done != nil {
+			close(p.done)
+		}
+		return nil
+	default:
+		return fail(fmt.Errorf("netmem: unexpected reply op %d", op))
+	}
+}
+
+// breakConn marks the generation's connection dead and kicks the
+// redialer (reader-goroutine entry point).
+func (m *NetMem) breakConn(gen uint64, err error) {
+	m.mu.Lock()
+	if m.gen != gen {
+		m.mu.Unlock()
+		return
+	}
+	m.breakConnLocked(err)
+	m.mu.Unlock()
+}
+
+// breakConnLocked severs the current connection and starts the
+// redialer unless one is already running or the client is done.
+func (m *NetMem) breakConnLocked(err error) {
+	if m.conn != nil {
+		m.conn.Close()
+		m.conn, m.bw = nil, nil
+	}
+	if m.closed || m.fatal != nil || m.redialing {
+		return
+	}
+	m.redialing = true
+	m.logf("netmem: connection lost (%v), redialing", err)
+	go m.redial()
+}
+
+// redial runs the reconnect-and-resume loop with exponential backoff.
+// Exhausting the budget is fatal: callers blocked in send are woken
+// with the error.
+func (m *NetMem) redial() {
+	backoff := m.opts.RedialBackoff
+	var lastErr error
+	for attempt := 0; attempt < m.opts.RedialAttempts; attempt++ {
+		m.mu.Lock()
+		done := m.closed || m.fatal != nil
+		m.mu.Unlock()
+		if done {
+			m.clearRedialing()
+			return
+		}
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err := m.connect(false)
+		if err == nil {
+			m.clearRedialing()
+			m.logf("netmem: reconnected to %s (epoch %d)", m.addr, m.Epoch())
+			return
+		}
+		lastErr = err
+		if errors.Is(err, ErrClosed) {
+			m.clearRedialing()
+			return
+		}
+		if errors.Is(err, ErrFenced) {
+			// connect already fatalized; surface the death through
+			// OnFatal too — an otherwise-idle client (no op in flight to
+			// return the error to) must still die rather than linger.
+			m.clearRedialing()
+			m.fatalOut(err)
+			return
+		}
+	}
+	// Fatalize before clearing the flag, so clearRedialing's respawn
+	// guard sees the death and does not start a pointless new redialer.
+	err := fmt.Errorf("netmem: reconnect to %s failed after %d attempts: %w",
+		m.addr, m.opts.RedialAttempts, lastErr)
+	m.fatalize(err)
+	m.clearRedialing()
+	m.fatalOut(err)
+}
+
+func (m *NetMem) clearRedialing() {
+	m.mu.Lock()
+	m.redialing = false
+	// A connection that died between our successful connect and this
+	// point saw redialing still true and declined to start a new
+	// redialer; that duty falls to us, or the client would park forever
+	// with no connection, no redialer and no fatal error.
+	if m.conn == nil && !m.closed && m.fatal == nil {
+		m.redialing = true
+		go m.redial()
+	}
+	m.mu.Unlock()
+}
+
+// fatalize kills the client: every outstanding and future operation
+// fails with err. Interfaces that cannot return errors route through
+// OnFatal at their next call.
+func (m *NetMem) fatalize(err error) {
+	m.mu.Lock()
+	if m.fatal != nil || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.fatal = err
+	if m.conn != nil {
+		m.conn.Close()
+		m.conn, m.bw = nil, nil
+	}
+	out := m.outstanding
+	m.outstanding = nil
+	for _, p := range out {
+		if p.done != nil {
+			p.err = err
+			close(p.done)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.logf("netmem: fatal: %v", err)
+}
+
+// fatalOut reports err through OnFatal for the error-less interface
+// methods; ErrClosed is swallowed (post-Close access is undefined by
+// contract, not a process-killing event).
+func (m *NetMem) fatalOut(err error) {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return
+	}
+	m.opts.OnFatal(err)
+}
+
+// renewLoop keeps the writer lease alive. A renew that fails fatally
+// (fenced, redial exhausted) routes through OnFatal, so even a client
+// that has gone quiet — no register traffic — learns of its death
+// within a third of the lease.
+func (m *NetMem) renewLoop() {
+	t := time.NewTicker(m.opts.LeaseTTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.renewStop:
+			return
+		case <-t.C:
+			op := &pendingOp{op: opRenew, done: make(chan struct{})}
+			if err := m.send(op); err != nil {
+				if !errors.Is(err, ErrClosed) {
+					m.fatalOut(err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// Read implements shmem.Mem with one awaited round trip.
+func (m *NetMem) Read(addr int) int64 {
+	op := &pendingOp{op: opRead, addr: addr, done: make(chan struct{})}
+	if err := m.send(op); err != nil {
+		m.fatalOut(err)
+		return 0
+	}
+	return op.val
+}
+
+// Write implements shmem.Mem as a pipelined write: it returns once the
+// request is queued on the connection. The ack is consumed (and
+// checked) in the background; ordering against every later operation on
+// this client is preserved by the connection. Use WriteAcked when the
+// write must be durable on the server before proceeding.
+func (m *NetMem) Write(addr int, v int64) {
+	op := &pendingOp{op: opWrite, addr: addr, val: v}
+	if err := m.send(op); err != nil {
+		m.fatalOut(err)
+	}
+}
+
+// WriteAcked implements membackend.AckedWriter: it returns after the
+// server has applied the write, which is the record-then-do ordering
+// the dispatcher journal needs across process death.
+func (m *NetMem) WriteAcked(addr int, v int64) error {
+	op := &pendingOp{op: opWrite, addr: addr, val: v, done: make(chan struct{})}
+	return m.send(op)
+}
+
+// ReadRange implements membackend.RangeReader, chunking to the
+// protocol's per-op bound.
+func (m *NetMem) ReadRange(addr int, dst []int64) error {
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > maxRange {
+			n = maxRange
+		}
+		op := &pendingOp{op: opReadRange, addr: addr, count: n, vals: dst[:n], done: make(chan struct{})}
+		if err := m.send(op); err != nil {
+			return err
+		}
+		addr += n
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// Fill implements membackend.Filler with one awaited op.
+func (m *NetMem) Fill(addr, n int, v int64) error {
+	if n == 0 {
+		return nil
+	}
+	op := &pendingOp{op: opFill, addr: addr, count: n, val: v, done: make(chan struct{})}
+	return m.send(op)
+}
+
+// CompareAndSwap implements membackend.Swapper. Caveat: if the
+// connection breaks between the server applying a CAS and the ack
+// arriving, the resend re-applies it; unlike reads and absolute writes
+// a CAS is not idempotent, so a retried success can report failure.
+// The dispatcher never uses CAS; callers that do must tolerate that.
+func (m *NetMem) CompareAndSwap(addr int, old, new int64) bool {
+	op := &pendingOp{op: opCAS, addr: addr, old: old, val: new, done: make(chan struct{})}
+	if err := m.send(op); err != nil {
+		m.fatalOut(err)
+		return false
+	}
+	return op.swapped
+}
+
+// Size implements shmem.Mem.
+func (m *NetMem) Size() int { return m.size }
+
+// Reopened implements membackend.Reopener: whether the namespace held
+// register state before this client attached (a durable file reopened
+// by the server, or an earlier client session on the same namespace).
+func (m *NetMem) Reopened() bool { return m.reopened }
+
+// Epoch returns the current writer-lease epoch (test and debug hook).
+func (m *NetMem) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Sync implements membackend.Backend: it drains the pipeline (the
+// server applies requests in order) and has the server flush the
+// namespace backend to stable storage.
+func (m *NetMem) Sync() error {
+	op := &pendingOp{op: opSync, done: make(chan struct{})}
+	return m.send(op)
+}
+
+// Close releases the lease, flushes pipelined writes and closes the
+// connection. If the connection is down at Close (mid-redial),
+// operations that were queued but never reached the server are
+// discarded — Close then returns an error naming how many, rather than
+// pretending the writes landed. Close is idempotent; operations after
+// Close fail with ErrClosed (without invoking OnFatal).
+func (m *NetMem) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.renewOnce.Do(func() { close(m.renewStop) })
+	// Best-effort graceful goodbye: queue a release, flush, and DRAIN
+	// the acks (bounded) before closing the socket. Closing with unread
+	// acks in our receive queue would RST the connection, and a reset
+	// can make the server discard frames it has not yet read — silently
+	// un-doing the release and the final writes. The drain ends when the
+	// release's ack arrives, proving the server applied everything.
+	var discardErr error
+	if m.fatal == nil && m.conn != nil {
+		op := &pendingOp{op: opRelease}
+		op.seq = m.nextSeqLocked()
+		m.outstanding = append(m.outstanding, op)
+		if writeFrame(m.bw, op.op, op.seq, m.encodeLocked(op)) == nil {
+			if err := m.bw.Flush(); err != nil {
+				discardErr = fmt.Errorf("netmem: close flush failed, up to %d operations may not have reached the server: %w",
+					len(m.outstanding), err)
+			} else {
+				deadline := time.Now().Add(2 * time.Second)
+				wake := time.AfterFunc(2*time.Second, func() {
+					m.mu.Lock()
+					m.cond.Broadcast()
+					m.mu.Unlock()
+				})
+				for len(m.outstanding) > 0 && m.conn != nil && m.fatal == nil && time.Now().Before(deadline) {
+					m.cond.Wait()
+				}
+				wake.Stop()
+				if n := len(m.outstanding); n > 0 {
+					discardErr = fmt.Errorf("netmem: close timed out with %d operations unacknowledged", n)
+				}
+			}
+		}
+	} else if m.fatal == nil && len(m.outstanding) > 0 {
+		// Disconnected with queued operations: they never reached the
+		// server and never will. (With fatal set, the operations were
+		// already failed loudly via fatalize/OnFatal — no double report.)
+		discardErr = fmt.Errorf("netmem: close while disconnected discarded %d unacknowledged operations", len(m.outstanding))
+	}
+	m.closed = true
+	if m.conn != nil {
+		m.conn.Close()
+		m.conn, m.bw = nil, nil
+	}
+	out := m.outstanding
+	m.outstanding = nil
+	for _, p := range out {
+		if p.done != nil {
+			p.err = ErrClosed
+			close(p.done)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return discardErr
+}
+
+// stopRenew halts lease renewal without closing the client — a test
+// hook to let a lease expire while the client lives (simulating a
+// stalled writer).
+func (m *NetMem) stopRenew() {
+	m.renewOnce.Do(func() { close(m.renewStop) })
+}
+
+func init() {
+	membackend.Register("net", func(arg string, size int) (membackend.Backend, error) {
+		addr, opts, err := ParseSpec(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Open(addr, size, opts)
+	})
+	// Teach membackend.WithSuffix (and hence ShardSpec) this kind's
+	// grammar: the suffix lands on the namespace — never the port —
+	// before any "?option" tail, defaulting the namespace first when the
+	// spec names none.
+	membackend.RegisterSuffixer("net", func(arg, suffix string) string {
+		base, opts := arg, ""
+		if i := strings.IndexByte(arg, '?'); i >= 0 {
+			base, opts = arg[:i], arg[i:]
+		}
+		if strings.LastIndexByte(base, '/') < 0 {
+			base += "/default"
+		}
+		return base + suffix + opts
+	})
+}
+
+// ParseSpec parses the argument of a "net:" backend spec:
+//
+//	HOST:PORT[/NAMESPACE][?option=value&...]
+//
+// Options: ttl (lease duration, e.g. 750ms), acquire (wait | fail),
+// acquiretimeout, dialtimeout, retries (redial attempts). Unknown
+// options are rejected.
+func ParseSpec(arg string) (addr string, opts Options, err error) {
+	rest := arg
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		q := rest[i+1:]
+		rest = rest[:i]
+		vals, perr := url.ParseQuery(q)
+		if perr != nil {
+			return "", opts, fmt.Errorf("netmem: bad options in spec %q: %v", arg, perr)
+		}
+		for k, vs := range vals {
+			v := vs[len(vs)-1]
+			switch k {
+			case "ttl":
+				if opts.LeaseTTL, err = time.ParseDuration(v); err != nil || opts.LeaseTTL <= 0 {
+					return "", opts, fmt.Errorf("netmem: bad ttl %q in spec %q (want a positive duration like 2s)", v, arg)
+				}
+			case "acquire":
+				switch v {
+				case "wait":
+					opts.FailFast = false
+				case "fail":
+					opts.FailFast = true
+				default:
+					return "", opts, fmt.Errorf("netmem: bad acquire mode %q in spec %q (want wait or fail)", v, arg)
+				}
+			case "acquiretimeout":
+				if opts.AcquireTimeout, err = time.ParseDuration(v); err != nil || opts.AcquireTimeout <= 0 {
+					return "", opts, fmt.Errorf("netmem: bad acquiretimeout %q in spec %q", v, arg)
+				}
+			case "dialtimeout":
+				if opts.DialTimeout, err = time.ParseDuration(v); err != nil || opts.DialTimeout <= 0 {
+					return "", opts, fmt.Errorf("netmem: bad dialtimeout %q in spec %q", v, arg)
+				}
+			case "retries":
+				if opts.RedialAttempts, err = strconv.Atoi(v); err != nil || opts.RedialAttempts <= 0 {
+					return "", opts, fmt.Errorf("netmem: bad retries %q in spec %q (want a positive integer)", v, arg)
+				}
+			default:
+				return "", opts, fmt.Errorf("netmem: unknown option %q in spec %q (have ttl, acquire, acquiretimeout, dialtimeout, retries)", k, arg)
+			}
+		}
+	}
+	// The namespace is everything after the last '/', so IPv6 hosts
+	// ("[::1]:7878") and ports stay intact.
+	addr = rest
+	if i := strings.LastIndexByte(rest, '/'); i >= 0 {
+		addr, opts.Namespace = rest[:i], rest[i+1:]
+		if opts.Namespace == "" {
+			return "", opts, fmt.Errorf("netmem: empty namespace in spec %q; drop the '/' for the default", arg)
+		}
+	}
+	if addr == "" || !strings.Contains(addr, ":") {
+		return "", opts, fmt.Errorf("netmem: spec %q needs HOST:PORT (e.g. %q)", arg, "net:127.0.0.1:7878/jobs")
+	}
+	return addr, opts, nil
+}

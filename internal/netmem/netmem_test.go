@@ -1,0 +1,360 @@
+package netmem
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atmostonce/internal/membackend"
+	"atmostonce/internal/memtest"
+	"atmostonce/internal/shmem"
+)
+
+// testServerAddr returns the address of the register server under
+// test: the external one named by AMO_REGD_ADDR (how CI points the
+// suite at a live amo-regd process), or an in-process Server torn down
+// with the test.
+func testServerAddr(t *testing.T) string {
+	t.Helper()
+	if a := os.Getenv("AMO_REGD_ADDR"); a != "" {
+		return a
+	}
+	srv := NewServer(ServerOptions{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+var nsSeq atomic.Uint64
+
+// uniqueNS returns a namespace name no other test (or earlier run
+// against a shared external server) has used.
+func uniqueNS() string {
+	return fmt.Sprintf("t%d-%d-%d", os.Getpid(), time.Now().UnixNano()&0xffffff, nsSeq.Add(1))
+}
+
+// TestNetMemSuite runs the full backend conformance battery against a
+// live server through the registry spec path — the acceptance gate for
+// the remote backend.
+func TestNetMemSuite(t *testing.T) {
+	addr := testServerAddr(t)
+	var ns string
+	open := func(t *testing.T, size int) shmem.Mem {
+		b, err := membackend.Open(fmt.Sprintf("net:%s/%s", addr, ns), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	}
+	memtest.RunMemSuite(t, memtest.Factory{
+		New: func(t *testing.T, size int) shmem.Mem {
+			ns = uniqueNS()
+			return open(t, size)
+		},
+		Reopen:  open,
+		Release: func(t *testing.T, m shmem.Mem) { m.(membackend.Backend).Close() },
+	})
+}
+
+// TestCountingNetSuite checks the wrapper composes over the remote
+// backend ("counting:net:..."), capabilities included.
+func TestCountingNetSuite(t *testing.T) {
+	addr := testServerAddr(t)
+	var ns string
+	open := func(t *testing.T, size int) shmem.Mem {
+		b, err := membackend.Open(fmt.Sprintf("counting:net:%s/%s", addr, ns), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	}
+	memtest.RunMemSuite(t, memtest.Factory{
+		New: func(t *testing.T, size int) shmem.Mem {
+			ns = uniqueNS()
+			return open(t, size)
+		},
+		Reopen:  open,
+		Release: func(t *testing.T, m shmem.Mem) { m.(membackend.Backend).Close() },
+	})
+}
+
+// TestReopenedFlag pins the Reopener semantics across client sessions:
+// a fresh namespace is not "reopened", the second session over it is.
+func TestReopenedFlag(t *testing.T) {
+	addr := testServerAddr(t)
+	ns := uniqueNS()
+	c1, err := Open(addr, 32, Options{Namespace: ns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Reopened() {
+		t.Fatal("fresh namespace reported reopened")
+	}
+	if err := c1.WriteAcked(7, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(addr, 32, Options{Namespace: ns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Reopened() {
+		t.Fatal("second session over the namespace not reported reopened")
+	}
+	if got := c2.Read(7); got != 1234 {
+		t.Fatalf("cell 7 = %d across sessions, want 1234", got)
+	}
+}
+
+// TestSizeMismatchRejected: a hello whose size disagrees with the open
+// namespace must fail loudly, not silently alias cells.
+func TestSizeMismatchRejected(t *testing.T) {
+	addr := testServerAddr(t)
+	ns := uniqueNS()
+	c1, err := Open(addr, 64, Options{Namespace: ns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := Open(addr, 128, Options{Namespace: ns, FailFast: true}); err == nil {
+		t.Fatal("size mismatch accepted")
+	} else if !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("size mismatch error does not explain itself: %v", err)
+	}
+}
+
+// TestBadNamespaceRejected: names that could escape into backend paths
+// are refused at hello.
+func TestBadNamespaceRejected(t *testing.T) {
+	addr := testServerAddr(t)
+	for _, ns := range []string{"..", "a/b", "x y"} {
+		if _, err := Open(addr, 8, Options{Namespace: ns, FailFast: true}); err == nil {
+			t.Errorf("namespace %q accepted", ns)
+		}
+	}
+}
+
+// TestCorruptRangeFrames hand-crafts frames whose addr+count overflows
+// uint64: the server must answer with a bounds error, not panic on a
+// negative index (a single malformed client must never take down the
+// register service).
+func TestCorruptRangeFrames(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	send := func(op byte, payload []byte) (reply byte, errCode uint16) {
+		t.Helper()
+		if err := writeFrame(bw, op, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rop, _, rp, _, err := readFrame(br, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rop == opErr {
+			d := decoder{b: rp}
+			return rop, d.u16()
+		}
+		return rop, 0
+	}
+
+	if rop, _ := send(opHello, appendU64(appendStr(nil, "corrupt-test"), 32)); rop != opHelloOK {
+		t.Fatalf("hello reply op %d", rop)
+	}
+	ep := uint64(0)
+	if err := writeFrame(bw, opAcquire, 1, append(appendU64(appendU64(nil, 1), 1000), 1)); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	rop, _, rp, _, err := readFrame(br, nil)
+	if err != nil || rop != opAcquireOK {
+		t.Fatalf("acquire reply op %d err %v", rop, err)
+	}
+	d := decoder{b: rp}
+	ep = d.u64()
+
+	// ReadRange with addr+count wrapping to 0.
+	huge := appendU32(appendU64(nil, ^uint64(0)), 1)
+	if rop, code := send(opReadRange, huge); rop != opErr || code != codeBadAddr {
+		t.Fatalf("overflowing readrange: op %d code %d, want opErr/badaddr", rop, code)
+	}
+	// Fill with the same wrap.
+	fill := appendI64(appendU32(appendU64(appendU64(nil, ep), ^uint64(0)), 1), 7)
+	if rop, code := send(opFill, fill); rop != opErr || code != codeBadAddr {
+		t.Fatalf("overflowing fill: op %d code %d, want opErr/badaddr", rop, code)
+	}
+	// The connection (and server) survived: a normal op still works.
+	if rop, _ := send(opRead, appendU64(nil, 3)); rop != opValue {
+		t.Fatalf("read after corrupt frames: op %d", rop)
+	}
+}
+
+// TestFrameRoundTrip is the wire-format unit test: frames survive the
+// encoder/decoder pair, and payloads must be consumed exactly.
+func TestFrameRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	bw := bufio.NewWriter(&b)
+	payload := appendI64(appendU64(appendStr(nil, "ns"), 42), -7)
+	if err := writeFrame(bw, opWrite, 9, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	op, seq, got, _, err := readFrame(bufio.NewReader(&b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opWrite || seq != 9 {
+		t.Fatalf("frame decoded as op %d seq %d", op, seq)
+	}
+	d := decoder{b: got}
+	if s := d.str(); s != "ns" {
+		t.Fatalf("str = %q", s)
+	}
+	if v := d.u64(); v != 42 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if v := d.i64(); v != -7 {
+		t.Fatalf("i64 = %d", v)
+	}
+	if err := d.done(); err != nil {
+		t.Fatal(err)
+	}
+	// Trailing bytes are a protocol error.
+	d = decoder{b: got}
+	d.str()
+	if err := d.done(); err == nil {
+		t.Fatal("trailing payload bytes accepted")
+	}
+	// Truncation poisons the decoder instead of panicking.
+	d = decoder{b: got[:1]}
+	d.str()
+	if err := d.done(); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestParseNetSpec is the spec-option parser's table test.
+func TestParseNetSpec(t *testing.T) {
+	cases := []struct {
+		arg        string
+		addr, ns   string
+		errPattern string
+	}{
+		{"127.0.0.1:7878", "127.0.0.1:7878", "", ""},
+		{"127.0.0.1:7878/jobs", "127.0.0.1:7878", "jobs", ""},
+		{"[::1]:7878/jobs.shard0", "[::1]:7878", "jobs.shard0", ""},
+		{"h:1/ns?ttl=750ms&acquire=fail&retries=3", "h:1", "ns", ""},
+		{"h:1/ns?acquire=wait", "h:1", "ns", ""},
+		{"h:1/", "", "", "empty namespace"},
+		{"", "", "", "HOST:PORT"},
+		{"nohostport", "", "", "HOST:PORT"},
+		{"h:1/ns?ttl=banana", "", "", "bad ttl"},
+		{"h:1/ns?acquire=maybe", "", "", "bad acquire mode"},
+		{"h:1/ns?retries=0", "", "", "bad retries"},
+		{"h:1/ns?bogus=1", "", "", "unknown option"},
+	}
+	for _, c := range cases {
+		addr, opts, err := ParseSpec(c.arg)
+		if c.errPattern != "" {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) accepted, want error containing %q", c.arg, c.errPattern)
+			} else if !strings.Contains(err.Error(), c.errPattern) {
+				t.Errorf("ParseSpec(%q) error %q does not mention %q", c.arg, err, c.errPattern)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.arg, err)
+			continue
+		}
+		if addr != c.addr || opts.Namespace != c.ns {
+			t.Errorf("ParseSpec(%q) = addr %q ns %q, want %q %q", c.arg, addr, opts.Namespace, c.addr, c.ns)
+		}
+	}
+	// Option values actually land.
+	_, opts, err := ParseSpec("h:1/ns?ttl=750ms&acquire=fail&retries=3&dialtimeout=1s&acquiretimeout=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.LeaseTTL != 750*time.Millisecond || !opts.FailFast || opts.RedialAttempts != 3 ||
+		opts.DialTimeout != time.Second || opts.AcquireTimeout != 2*time.Second {
+		t.Fatalf("options not applied: %+v", opts)
+	}
+}
+
+// TestNetShardSpec pins the "net" suffix grammar this package registers
+// with membackend: the shard suffix lands on the namespace — never the
+// port — before any option tail, with the default namespace made
+// explicit when the spec names none.
+func TestNetShardSpec(t *testing.T) {
+	cases := [][3]string{
+		{"net:127.0.0.1:7878/jobs", "2", "net:127.0.0.1:7878/jobs.shard2"},
+		{"net:127.0.0.1:7878/jobs?ttl=1s", "1", "net:127.0.0.1:7878/jobs.shard1?ttl=1s"},
+		{"counting:net:h:1/ns", "0", "counting:net:h:1/ns.shard0"},
+		{"net:127.0.0.1:7878", "0", "net:127.0.0.1:7878/default.shard0"},
+		{"net:127.0.0.1:7878?ttl=1s", "3", "net:127.0.0.1:7878/default.shard3?ttl=1s"},
+	}
+	for _, c := range cases {
+		shard := int(c[1][0] - '0')
+		if got := membackend.ShardSpec(c[0], shard); got != c[2] {
+			t.Errorf("ShardSpec(%q, %d) = %q, want %q", c[0], shard, got, c[2])
+		}
+	}
+}
+
+// TestPipelinedWritesOrdered: a burst of pipelined writes followed by a
+// read observes every one of them (read-your-writes through the
+// pipeline), and a range read agrees.
+func TestPipelinedWritesOrdered(t *testing.T) {
+	addr := testServerAddr(t)
+	c, err := Open(addr, 1024, Options{Namespace: uniqueNS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 1024; i++ {
+		c.Write(i, int64(i)^0x5a5a)
+	}
+	if got := c.Read(1023); got != 1023^0x5a5a {
+		t.Fatalf("read after pipelined burst = %d", got)
+	}
+	dst := make([]int64, 1024)
+	if err := c.ReadRange(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != int64(i)^0x5a5a {
+			t.Fatalf("cell %d = %d after burst", i, v)
+		}
+	}
+}

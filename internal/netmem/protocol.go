@@ -1,0 +1,234 @@
+// Package netmem is the networked register service: it emulates the
+// paper's shared memory — an array of atomic int64 read/write registers
+// — over message passing, so dispatcher shards can live in different
+// processes and on different machines while the algorithms above the
+// shmem.Mem seam stay untouched. This is the classical shared-memory ⇄
+// message-passing bridge (cf. Oh-RAM! and the ABD lineage), specialized
+// to the single-writer topology the streaming dispatcher already has:
+// one register set, one live writer, any number of observers.
+//
+// The package has three parts:
+//
+//   - Server: owns one membackend.Backend per namespace (atomic, durable
+//     mmap — any registry spec) and serves cell reads, writes, range
+//     reads, fills, CAS and Sync over a compact length-prefixed binary
+//     protocol on TCP. Requests on a connection are processed strictly
+//     in order, which is what makes client-side pipelining sound.
+//   - NetMem: the client backend, registered in the membackend registry
+//     as "net:HOST:PORT[/NAMESPACE][?options]". Writes are pipelined
+//     (sent without waiting for the ack), reads and the capability ops
+//     (WriteAcked, ReadRange, Fill, CompareAndSwap, Sync) wait for their
+//     reply; a broken connection is redialed and every unacknowledged
+//     operation is resent in order, so callers never observe the
+//     reconnect. cmd/amo-regd is the server binary.
+//   - Arbitration: the server grants a single writer lease per
+//     namespace, identified by a monotonically increasing epoch. Every
+//     mutating request carries the writer's epoch and is rejected with
+//     ErrFenced once a newer writer has been granted the lease, so a
+//     paused or partitioned dispatcher can never scribble on registers
+//     its successor has taken over (the fencing-token discipline of the
+//     leader-election literature; cf. the Omega failure-detector paper).
+//
+// See DESIGN.md §8 for the wire protocol, the lease state machine and
+// the crash-window analysis of network writes.
+package netmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format. Every message, both directions, is one frame:
+//
+//	uint32  length of the rest of the frame (op + seq + payload)
+//	uint8   op code
+//	uint32  seq — client-chosen; the server echoes it in the reply
+//	...     op-specific payload
+//
+// All integers are little-endian; strings are uint16 length + bytes.
+// The server replies to every request, in request order, on the same
+// connection. Payloads must be consumed exactly: trailing bytes in a
+// frame are a protocol error.
+const (
+	// Client → server.
+	opHello     byte = 1  // ns string, size u64          → opHelloOK
+	opAcquire   byte = 2  // clientID u64, ttlMs u64, wait u8 → opAcquireOK
+	opRenew     byte = 3  // epoch u64                    → opAck
+	opRelease   byte = 4  // epoch u64                    → opAck
+	opRead      byte = 5  // addr u64                     → opValue
+	opWrite     byte = 6  // epoch u64, addr u64, val i64 → opAck
+	opReadRange byte = 7  // addr u64, count u32          → opValues
+	opFill      byte = 8  // epoch u64, addr u64, count u32, val i64 → opAck
+	opCAS       byte = 9  // epoch u64, addr u64, old i64, new i64   → opCASResult
+	opSync      byte = 10 // (empty)                      → opAck
+
+	// Server → client.
+	opAck       byte = 16 // (empty)
+	opValue     byte = 17 // val i64
+	opValues    byte = 18 // val i64 × count (count implied by frame length)
+	opCASResult byte = 19 // swapped u8, prev i64
+	opHelloOK   byte = 20 // reopened u8
+	opAcquireOK byte = 21 // epoch u64, ttlMs u64 (effective, after clamping)
+	opErr       byte = 31 // code u16, msg string
+)
+
+// Error codes carried by opErr frames.
+const (
+	codeProto        uint16 = 1 // malformed frame or op sequence
+	codeBadNamespace uint16 = 2 // namespace name rejected
+	codeNoNamespace  uint16 = 3 // data op before opHello
+	codeBadAddr      uint16 = 4 // cell address or range out of bounds
+	codeFenced       uint16 = 5 // stale epoch: a newer writer holds the lease
+	codeLeaseHeld    uint16 = 6 // fail-fast acquire lost to a live lease
+	codeBackend      uint16 = 7 // backend open/sync failure
+	codeSizeMismatch uint16 = 8 // hello size differs from the open namespace
+	codeClosed       uint16 = 9 // server shutting down
+)
+
+const (
+	// maxFrame bounds a frame's self-declared length; anything larger is
+	// treated as stream corruption, not an allocation request.
+	maxFrame = 1 << 21
+	// maxRange bounds the cells of one opReadRange, keeping reply frames
+	// under maxFrame. Clients chunk larger ranges.
+	maxRange = 1 << 16
+	// maxCells bounds a namespace's register count (2^30 cells = 8 GiB —
+	// a sanity bound against corrupt hellos, not a product limit).
+	maxCells = 1 << 30
+	// frameOverhead is op + seq.
+	frameOverhead = 5
+)
+
+// writeFrame appends one frame to w. The caller flushes.
+func writeFrame(w *bufio.Writer, op byte, seq uint32, payload []byte) error {
+	var hdr [4 + frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(frameOverhead+len(payload)))
+	hdr[4] = op
+	binary.LittleEndian.PutUint32(hdr[5:], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it is big enough. It
+// returns the (possibly grown) buffer for the next call; payload aliases
+// it.
+func readFrame(r *bufio.Reader, buf []byte) (op byte, seq uint32, payload, bufOut []byte, err error) {
+	bufOut = buf
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < frameOverhead || n > maxFrame {
+		err = fmt.Errorf("netmem: corrupt frame length %d", n)
+		return
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+		bufOut = buf
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return
+	}
+	op = buf[0]
+	seq = binary.LittleEndian.Uint32(buf[1:5])
+	payload = buf[frameOverhead:]
+	return
+}
+
+// Payload append helpers.
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// decoder is a cursor over a frame payload. The first malformed read
+// poisons it; done() reports that error, or complains about trailing
+// bytes — a frame must be consumed exactly.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("netmem: truncated frame payload")
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// done returns the accumulated decode error, or a protocol error when
+// payload bytes are left over.
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("netmem: %d trailing bytes in frame payload", len(d.b))
+	}
+	return nil
+}

@@ -1,0 +1,644 @@
+package netmem
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atmostonce/internal/membackend"
+)
+
+// ServerOptions configures a register server.
+type ServerOptions struct {
+	// Spec is the membackend spec template backing the namespaces
+	// (default "atomic"). Instance-bearing kinds get a ".<namespace>"
+	// suffix per namespace (membackend.WithSuffix), so
+	// "mmap:/var/lib/amo/regs" stores namespace "jobs" in
+	// "/var/lib/amo/regs.jobs".
+	Spec string
+	// DefaultTTL is the lease duration granted when a client asks for 0
+	// (default 2s); MaxTTL clamps what a client may ask for (default 1m).
+	DefaultTTL time.Duration
+	MaxTTL     time.Duration
+	// Logf, when non-nil, receives one line per connection, namespace
+	// and lease event.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the register namespaces and serves the wire protocol.
+// Each namespace is one membackend.Backend plus a writer-lease record;
+// the backend stays open across client sessions, so a successor
+// dispatcher reconnecting to a namespace sees the registers its
+// predecessor wrote — over "mmap:" specs even across server restarts.
+type Server struct {
+	opts ServerOptions
+	ln   net.Listener
+
+	mu     sync.Mutex
+	nss    map[string]*namespace
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// namespace is one register set: a backend and its lease.
+type namespace struct {
+	name string
+	bk   membackend.Backend
+	size int
+
+	mu sync.Mutex
+	// Lease state. epoch only ever increases; it is bumped on every
+	// grant, so a write stamped with an older epoch proves its writer
+	// lost the lease at some point since stamping it. holderID 0 means
+	// released. An expired deadline does not by itself fence the holder
+	// — only a successor's grant does — so a writer with no contender
+	// survives arbitrary stalls.
+	epoch    uint64
+	holderID uint64
+	deadline time.Time
+	ttl      time.Duration
+	cond     *sync.Cond // acquire waiters, woken on release/expiry/shutdown
+}
+
+// NewServer builds a server; Listen starts it.
+func NewServer(opts ServerOptions) *Server {
+	if opts.Spec == "" {
+		opts.Spec = "atomic"
+	}
+	if opts.DefaultTTL <= 0 {
+		opts.DefaultTTL = 2 * time.Second
+	}
+	if opts.MaxTTL <= 0 {
+		opts.MaxTTL = time.Minute
+	}
+	return &Server{
+		opts:  opts,
+		nss:   make(map[string]*namespace),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts the accept loop in
+// the background, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("netmem: server is closed")
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Close stops accepting, severs every connection, wakes lease waiters,
+// waits for the handlers to drain and closes the namespace backends.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	nss := make([]*namespace, 0, len(s.nss))
+	for _, ns := range s.nss {
+		nss = append(nss, ns)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, ns := range nss {
+		ns.mu.Lock()
+		ns.cond.Broadcast()
+		ns.mu.Unlock()
+	}
+	s.wg.Wait()
+	var err error
+	for _, ns := range nss {
+		if e := ns.bk.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// getNamespace returns the namespace for a hello, opening its backend
+// on first use. reopened reports whether the namespace holds earlier
+// state: either the backend reopened a durable file, or the namespace
+// was already open in this server (a previous client session wrote it).
+func (s *Server) getNamespace(name string, size int) (ns *namespace, reopened bool, werr *wireError) {
+	if err := checkNamespaceName(name); err != nil {
+		return nil, false, &wireError{codeBadNamespace, err.Error()}
+	}
+	if size <= 0 || size > maxCells {
+		return nil, false, &wireError{codeProto, fmt.Sprintf("namespace size %d out of range (1..%d)", size, maxCells)}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, &wireError{codeClosed, "server is shutting down"}
+	}
+	if ns, ok := s.nss[name]; ok {
+		if ns.size != size {
+			return nil, false, &wireError{codeSizeMismatch,
+				fmt.Sprintf("namespace %q holds %d cells, hello asked for %d", name, ns.size, size)}
+		}
+		return ns, true, nil
+	}
+	spec := membackend.WithSuffix(s.opts.Spec, "."+name)
+	bk, err := membackend.Open(spec, size)
+	if err != nil {
+		return nil, false, &wireError{codeBackend, err.Error()}
+	}
+	if r, ok := bk.(membackend.Reopener); ok {
+		reopened = r.Reopened()
+	}
+	ns = &namespace{name: name, bk: bk, size: size}
+	ns.cond = sync.NewCond(&ns.mu)
+	s.nss[name] = ns
+	s.logf("netmem: namespace %q opened (%s, %d cells, reopened=%v)", name, spec, size, reopened)
+	return ns, reopened, nil
+}
+
+// checkNamespaceName restricts names to path-safe characters: they are
+// spliced into backend specs (mmap file suffixes).
+func checkNamespaceName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("namespace name must be 1..128 characters, got %d", len(name))
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("namespace name %q contains %q; allowed: letters, digits, '.', '_', '-'", name, c)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("namespace name %q is reserved", name)
+	}
+	return nil
+}
+
+// acquire implements the lease grant. A grant goes through when the
+// lease is free, expired, or already held by the same client identity
+// (a reconnecting writer re-acquires instantly); every grant bumps the
+// epoch. With wait set, the caller parks until the lease can be
+// granted; srv is consulted so server shutdown unblocks waiters, and
+// dead (set by the caller's connection monitor) so a waiter whose
+// client has vanished gives up instead of lingering as a ghost that
+// could later be granted the lease — and fence a healthy incumbent
+// that has no live contender.
+func (ns *namespace) acquire(srv *Server, clientID uint64, ttl time.Duration, wait bool, dead *atomic.Bool) (epoch uint64, grantedTTL time.Duration, werr *wireError) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for {
+		srv.mu.Lock()
+		closed := srv.closed
+		srv.mu.Unlock()
+		if closed {
+			return 0, 0, &wireError{codeClosed, "server is shutting down"}
+		}
+		if dead != nil && dead.Load() {
+			return 0, 0, &wireError{codeClosed, "client went away while waiting for the lease"}
+		}
+		now := time.Now()
+		if ns.holderID == 0 || ns.holderID == clientID || now.After(ns.deadline) {
+			ns.epoch++
+			ns.holderID = clientID
+			ns.ttl = ttl
+			ns.deadline = now.Add(ttl)
+			srv.logf("netmem: namespace %q lease granted: epoch %d, client %#x, ttl %s",
+				ns.name, ns.epoch, clientID, ttl)
+			return ns.epoch, ttl, nil
+		}
+		if !wait {
+			return 0, 0, &wireError{codeLeaseHeld,
+				fmt.Sprintf("lease held by another writer for up to %s", time.Until(ns.deadline).Round(time.Millisecond))}
+		}
+		// Park until the holder releases, the lease expires, or the
+		// server shuts down. The timer re-checks the deadline for us.
+		t := time.AfterFunc(time.Until(ns.deadline)+time.Millisecond, func() {
+			ns.mu.Lock()
+			ns.cond.Broadcast()
+			ns.mu.Unlock()
+		})
+		ns.cond.Wait()
+		t.Stop()
+	}
+}
+
+// renew extends the holder's lease. The epoch must still be current:
+// renewing after a successor's grant is the fencing moment where a
+// stalled writer learns it is dead.
+func (ns *namespace) renew(epoch uint64) *wireError {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if epoch == 0 || epoch != ns.epoch || ns.holderID == 0 {
+		return &wireError{codeFenced, fmt.Sprintf("renew epoch %d, lease is at %d", epoch, ns.epoch)}
+	}
+	ns.deadline = time.Now().Add(ns.ttl)
+	return nil
+}
+
+// release frees the lease if epoch is still current; stale releases are
+// ignored (the lease they refer to is already gone).
+func (ns *namespace) release(epoch uint64) {
+	ns.mu.Lock()
+	if epoch != 0 && epoch == ns.epoch && ns.holderID != 0 {
+		ns.holderID = 0
+		ns.cond.Broadcast()
+	}
+	ns.mu.Unlock()
+}
+
+// applyMut gates every mutating op: the stamped epoch must be the
+// current lease, and the mutation runs under the same lock that grants
+// leases — the fencing check and the apply are one atomic step. Without
+// that, a handler descheduled between check and apply could land a
+// stale writer's mutation after its successor's grant (and after the
+// successor's recovery scan), which is exactly the duplicate the fence
+// exists to prevent.
+func (ns *namespace) applyMut(epoch uint64, fn func() *wireError) *wireError {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if epoch == 0 || epoch != ns.epoch || ns.holderID == 0 {
+		return &wireError{codeFenced, fmt.Sprintf("write stamped epoch %d, lease is at %d", epoch, ns.epoch)}
+	}
+	return fn()
+}
+
+// wireError is an error that travels as an opErr frame.
+type wireError struct {
+	code uint16
+	msg  string
+}
+
+func (e *wireError) Error() string { return fmt.Sprintf("netmem: server error %d: %s", e.code, e.msg) }
+
+// handle serves one connection until EOF or error. Requests are
+// processed strictly in order; replies are buffered and flushed when
+// the read side has no more complete requests buffered (natural
+// batching under pipelining) and always before a potentially blocking
+// lease wait.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var (
+		buf     []byte
+		scratch []byte
+		ns      *namespace
+	)
+	reply := func(seq uint32, op byte, payload []byte) bool {
+		return writeFrame(bw, op, seq, payload) == nil
+	}
+	replyErr := func(seq uint32, we *wireError) bool {
+		scratch = scratch[:0]
+		scratch = appendU16(scratch, we.code)
+		scratch = appendStr(scratch, we.msg)
+		return reply(seq, opErr, scratch)
+	}
+	for {
+		if br.Buffered() == 0 && bw.Buffered() > 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+		op, seq, payload, nbuf, err := readFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			bw.Flush()
+			return
+		}
+		d := decoder{b: payload}
+		ok := true
+		switch op {
+		case opHello:
+			name := d.str()
+			size := d.u64()
+			if d.done() != nil {
+				ok = replyErr(seq, &wireError{codeProto, "malformed hello"})
+				break
+			}
+			n, reopened, werr := s.getNamespace(name, int(size))
+			if werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			ns = n
+			scratch = scratch[:0]
+			if reopened {
+				scratch = append(scratch, 1)
+			} else {
+				scratch = append(scratch, 0)
+			}
+			ok = reply(seq, opHelloOK, scratch)
+
+		case opAcquire:
+			clientID := d.u64()
+			ttlMs := d.u64()
+			wait := d.u8() != 0
+			if d.done() != nil || ns == nil || clientID == 0 {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil && clientID != 0, ns))
+				break
+			}
+			ttl := time.Duration(ttlMs) * time.Millisecond
+			if ttl <= 0 {
+				ttl = s.opts.DefaultTTL
+			}
+			if ttl > s.opts.MaxTTL {
+				ttl = s.opts.MaxTTL
+			}
+			// The wait can park this handler; everything buffered must
+			// reach the client first or its pipeline stalls against ours.
+			if bw.Flush() != nil {
+				return
+			}
+			// While a waiter is parked nothing else reads this
+			// connection, so a monitor goroutine can safely block in
+			// Peek: it fires when the client disconnects (waiter gives
+			// up) or when the client's next request arrives post-grant
+			// (monitor retires; the byte stays unconsumed for the main
+			// loop, which resumes reading only after monitorDone).
+			var dead *atomic.Bool
+			var monitorDone chan struct{}
+			if wait {
+				dead = new(atomic.Bool)
+				monitorDone = make(chan struct{})
+				go func() {
+					defer close(monitorDone)
+					if _, err := br.Peek(1); err != nil {
+						dead.Store(true)
+						ns.mu.Lock()
+						ns.cond.Broadcast()
+						ns.mu.Unlock()
+					}
+				}()
+			}
+			epoch, granted, werr := ns.acquire(s, clientID, ttl, wait, dead)
+			if werr != nil {
+				if !replyErr(seq, werr) {
+					return
+				}
+				if bw.Flush() != nil {
+					return
+				}
+				if monitorDone != nil {
+					<-monitorDone // reclaim the read side before the next readFrame
+				}
+				break
+			}
+			scratch = scratch[:0]
+			scratch = appendU64(scratch, epoch)
+			scratch = appendU64(scratch, uint64(granted/time.Millisecond))
+			if !reply(seq, opAcquireOK, scratch) || bw.Flush() != nil {
+				// The grant never reached anyone: free the lease so the
+				// next contender need not wait out a dead holder's TTL.
+				ns.release(epoch)
+				return
+			}
+			if monitorDone != nil {
+				<-monitorDone
+			}
+			ok = true
+
+		case opRenew:
+			epoch := d.u64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			if werr := ns.renew(epoch); werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			ok = reply(seq, opAck, nil)
+
+		case opRelease:
+			epoch := d.u64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			ns.release(epoch)
+			ok = reply(seq, opAck, nil)
+
+		case opRead:
+			addr := d.u64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			if addr >= uint64(ns.size) {
+				ok = replyErr(seq, &wireError{codeBadAddr, fmt.Sprintf("read addr %d ≥ size %d", addr, ns.size)})
+				break
+			}
+			scratch = appendI64(scratch[:0], ns.bk.Read(int(addr)))
+			ok = reply(seq, opValue, scratch)
+
+		case opWrite:
+			epoch := d.u64()
+			addr := d.u64()
+			val := d.i64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			if addr >= uint64(ns.size) {
+				ok = replyErr(seq, &wireError{codeBadAddr, fmt.Sprintf("write addr %d ≥ size %d", addr, ns.size)})
+				break
+			}
+			if werr := ns.applyMut(epoch, func() *wireError {
+				ns.bk.Write(int(addr), val)
+				return nil
+			}); werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			ok = reply(seq, opAck, nil)
+
+		case opReadRange:
+			addr := d.u64()
+			count := d.u32()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			// Overflow-safe bounds: check addr and count separately, never
+			// their sum (addr+count can wrap uint64 on a corrupt frame).
+			if count == 0 || count > maxRange || addr >= uint64(ns.size) || uint64(count) > uint64(ns.size)-addr {
+				ok = replyErr(seq, &wireError{codeBadAddr,
+					fmt.Sprintf("range addr %d count %d outside size %d or over %d cells", addr, count, ns.size, maxRange)})
+				break
+			}
+			scratch = scratch[:0]
+			for i := 0; i < int(count); i++ {
+				scratch = appendI64(scratch, ns.bk.Read(int(addr)+i))
+			}
+			ok = reply(seq, opValues, scratch)
+
+		case opFill:
+			epoch := d.u64()
+			addr := d.u64()
+			count := d.u32()
+			val := d.i64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			// Overflow-safe bounds, as for opReadRange; a fill may cover
+			// the whole namespace (no maxRange cap — there is no reply
+			// frame to bound).
+			if count == 0 || addr >= uint64(ns.size) || uint64(count) > uint64(ns.size)-addr {
+				ok = replyErr(seq, &wireError{codeBadAddr,
+					fmt.Sprintf("fill addr %d count %d outside size %d", addr, count, ns.size)})
+				break
+			}
+			if werr := ns.applyMut(epoch, func() *wireError {
+				if f, okf := ns.bk.(membackend.Filler); okf {
+					if err := f.Fill(int(addr), int(count), val); err != nil {
+						return &wireError{codeBackend, err.Error()}
+					}
+					return nil
+				}
+				for i := 0; i < int(count); i++ {
+					ns.bk.Write(int(addr)+i, val)
+				}
+				return nil
+			}); werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			ok = reply(seq, opAck, nil)
+
+		case opCAS:
+			epoch := d.u64()
+			addr := d.u64()
+			oldv := d.i64()
+			newv := d.i64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			if addr >= uint64(ns.size) {
+				ok = replyErr(seq, &wireError{codeBadAddr, fmt.Sprintf("cas addr %d ≥ size %d", addr, ns.size)})
+				break
+			}
+			var swapped bool
+			var prev int64
+			if werr := ns.applyMut(epoch, func() *wireError {
+				sw, okc := ns.bk.(membackend.Swapper)
+				if !okc {
+					return &wireError{codeBackend, fmt.Sprintf("backend %T has no atomic CAS", ns.bk)}
+				}
+				swapped = sw.CompareAndSwap(int(addr), oldv, newv)
+				prev = oldv
+				if !swapped {
+					prev = ns.bk.Read(int(addr))
+				}
+				return nil
+			}); werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			scratch = scratch[:0]
+			if swapped {
+				scratch = append(scratch, 1)
+			} else {
+				scratch = append(scratch, 0)
+			}
+			scratch = appendI64(scratch, prev)
+			ok = reply(seq, opCASResult, scratch)
+
+		case opSync:
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			if err := ns.bk.Sync(); err != nil {
+				ok = replyErr(seq, &wireError{codeBackend, err.Error()})
+				break
+			}
+			ok = reply(seq, opAck, nil)
+
+		default:
+			ok = replyErr(seq, &wireError{codeProto, fmt.Sprintf("unknown op %d", op)})
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// protoOrNoNS picks the right error for the shared "malformed payload
+// or no hello yet" guard.
+func protoOrNoNS(wellFormed bool, ns *namespace) *wireError {
+	if !wellFormed {
+		return &wireError{codeProto, "malformed request payload"}
+	}
+	if ns == nil {
+		return &wireError{codeNoNamespace, "data op before hello"}
+	}
+	return &wireError{codeProto, "malformed request"}
+}

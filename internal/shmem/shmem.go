@@ -18,10 +18,13 @@
 // Further backends live in the registry package internal/membackend and
 // are selected by spec string (membackend.Open): the in-process atomic
 // backend, the durable memory-mapped register file ("mmap:PATH", the
-// substrate of dispatcher crash recovery) and an instrumented counting
-// wrapper. Every implementation must pass the shared conformance suite
-// internal/memtest; the file layout and recovery protocol are specified
-// in DESIGN.md §7.
+// substrate of dispatcher crash recovery), an instrumented counting
+// wrapper, and the networked register service ("net:HOST:PORT/NS",
+// internal/netmem — registers served by an amo-regd process with
+// single-writer lease arbitration). Every implementation must pass the
+// shared conformance suite internal/memtest; the file layout and
+// recovery protocol are specified in DESIGN.md §7, the wire protocol
+// and fencing in §8.
 //
 // A separate TAS extension models test-and-set registers; the paper's
 // algorithms never use it (they are read/write only), but the baseline
@@ -147,6 +150,14 @@ func (m *AtomicMem) TestAndSet(addr int) int64 {
 		return 0
 	}
 	return 1
+}
+
+// CompareAndSwap atomically replaces the cell at addr with new if it
+// holds old, reporting whether the swap happened. The paper's
+// algorithms never use it (read/write registers only); it serves the
+// backend registry's optional Swapper capability.
+func (m *AtomicMem) CompareAndSwap(addr int, old, new int64) bool {
+	return m.cells[addr].CompareAndSwap(old, new)
 }
 
 // Size implements Mem.
