@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"atmostonce"
+)
+
+// asyncShape is one sweep point of the async latency benchmark: a
+// dispatcher shape plus the bounded queue the producers push against.
+type asyncShape struct {
+	Shards     int `json:"shards"`
+	Workers    int `json:"workers"`
+	Batch      int `json:"batch"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// asyncResult is one measured sweep point: per-job completion latency
+// percentiles (submit → future resolution) alongside throughput and the
+// pipeline's observability counters.
+type asyncResult struct {
+	asyncShape
+	Rounds  uint64 `json:"rounds"`
+	Residue uint64 `json:"residue"`
+	// StolenJobs counts jobs idle shards claimed from siblings;
+	// SubmitBlockedNanos is the total time producers spent parked on
+	// full queues (Block policy backpressure).
+	StolenJobs         uint64  `json:"stolen_jobs"`
+	SubmitBlockedNanos uint64  `json:"submit_blocked_nanos"`
+	JobsPerSec         float64 `json:"jobs_per_sec"`
+	P50Micros          float64 `json:"p50_us"`
+	P99Micros          float64 `json:"p99_us"`
+	P999Micros         float64 `json:"p999_us"`
+}
+
+// asyncReport is the -async -json document.
+type asyncReport struct {
+	Mode      string        `json:"mode"`
+	Jobs      int           `json:"jobs"`
+	Producers int           `json:"producers"`
+	Backend   string        `json:"backend"`
+	Results   []asyncResult `json:"results"`
+}
+
+const asyncProducers = 4
+
+// runAsync benchmarks the async submission pipeline: concurrent
+// producers drive SubmitCallback against a bounded queue (Block policy),
+// and every job's completion latency — submit call to future resolution,
+// queue wait and backpressure stall included — is recorded exactly. The
+// payload is a single atomic increment, so the percentiles measure the
+// pipeline itself: round cutting, adaptive sizing, carry-over, stealing
+// and notification, not user work.
+func runAsync(quick, asJSON bool, backend string) error {
+	jobs := 200_000
+	shapes := []asyncShape{
+		{1, 2, 256, 1024}, {1, 4, 1024, 4096},
+		{2, 4, 1024, 4096}, {4, 4, 1024, 4096},
+		{4, 8, 1024, 8192}, {8, 4, 4096, 8192},
+	}
+	if quick {
+		jobs = 30_000
+		shapes = shapes[:4]
+	}
+
+	backend, cleanup, err := tempMmap(backend)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	report := asyncReport{Mode: mode(quick), Jobs: jobs, Producers: asyncProducers, Backend: backendLabel(backend)}
+	if !asJSON {
+		fmt.Printf("# Async submission pipeline latency (%s mode, %s backend)\n\n", report.Mode, report.Backend)
+		fmt.Printf("%d jobs per shape, %d producers, SubmitPolicy Block; payload = one atomic increment.\n\n", jobs, asyncProducers)
+		fmt.Println("| shards | workers | max batch | queue depth | rounds | stolen | blocked ms | jobs/sec | p50 µs | p99 µs | p999 µs |")
+		fmt.Println("|-------:|--------:|----------:|------------:|-------:|-------:|-----------:|---------:|-------:|-------:|--------:|")
+	}
+	for i, sh := range shapes {
+		res, err := asyncOnce(sh, jobs, shapeSpec(backend, i))
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+		if !asJSON {
+			fmt.Printf("| %d | %d | %d | %d | %d | %d | %.1f | %.0f | %.1f | %.1f | %.1f |\n",
+				sh.Shards, sh.Workers, sh.Batch, sh.QueueDepth, res.Rounds, res.StolenJobs,
+				float64(res.SubmitBlockedNanos)/1e6, res.JobsPerSec,
+				res.P50Micros, res.P99Micros, res.P999Micros)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Println()
+	return nil
+}
+
+// asyncOnce streams one shape and returns its measured result.
+func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
+	var zero asyncResult
+	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
+		Shards:          sh.Shards,
+		WorkersPerShard: sh.Workers,
+		MaxBatch:        sh.Batch,
+		QueueDepth:      sh.QueueDepth,
+		SubmitPolicy:    atmostonce.Block,
+		Backend:         backend,
+		MaxJobs:         jobs,
+	})
+	if err != nil {
+		return zero, err
+	}
+	defer d.Close()
+
+	// One exact latency cell per job; producers and callbacks write
+	// disjoint indices, so no synchronization beyond the WaitGroup.
+	lat := make([]int64, jobs)
+	noop := func() {}
+	per := jobs / asyncProducers
+	var wg sync.WaitGroup
+	var submitErr error
+	var errOnce sync.Once
+	start := time.Now()
+	for p := 0; p < asyncProducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			lo, hi := p*per, (p+1)*per
+			if p == asyncProducers-1 {
+				hi = jobs
+			}
+			for i := lo; i < hi; i++ {
+				idx := i
+				t0 := time.Now()
+				if _, err := d.SubmitCallback(noop, func(atmostonce.JobResult) {
+					lat[idx] = int64(time.Since(t0))
+				}); err != nil {
+					errOnce.Do(func() { submitErr = err })
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return zero, submitErr
+	}
+	d.Flush()
+	elapsed := time.Since(start)
+
+	st := d.Stats()
+	if st.Duplicates != 0 {
+		return zero, fmt.Errorf("async: %d duplicate executions", st.Duplicates)
+	}
+	if st.Performed != uint64(jobs) {
+		return zero, fmt.Errorf("async: performed %d of %d jobs", st.Performed, jobs)
+	}
+	for i, l := range lat {
+		if l == 0 {
+			return zero, fmt.Errorf("async: job %d never resolved its future", i)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i]) / 1e3
+	}
+	return asyncResult{
+		asyncShape:         sh,
+		Rounds:             st.Rounds,
+		Residue:            st.Residue,
+		StolenJobs:         st.StolenJobs,
+		SubmitBlockedNanos: st.SubmitBlockedNanos,
+		JobsPerSec:         float64(jobs) / elapsed.Seconds(),
+		P50Micros:          pct(0.50),
+		P99Micros:          pct(0.99),
+		P999Micros:         pct(0.999),
+	}, nil
+}

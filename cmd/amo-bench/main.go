@@ -5,6 +5,11 @@
 //
 // With -throughput it instead benchmarks the streaming Dispatcher,
 // sweeping shards × workers × batch size and reporting jobs/sec.
+// With -async it benchmarks the async submission pipeline: concurrent
+// producers drive SubmitCallback against bounded queues (SubmitPolicy
+// Block) and the sweep reports per-job completion latency percentiles
+// (p50/p99/p999, submit → future resolution) alongside throughput,
+// stolen-job and backpressure counters.
 // -backend selects the register backend (atomic, mmap[:PATH],
 // net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
 // cost of durable journaling — local or networked — is measurable;
@@ -16,6 +21,7 @@
 //
 //	amo-bench [-quick] [-only E3]
 //	amo-bench -throughput [-quick] [-backend mmap] [-json]
+//	amo-bench -async [-quick] [-backend mmap] [-json]
 package main
 
 import (
@@ -40,16 +46,23 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "run reduced sweeps")
 	only := fs.String("only", "", "run a single experiment (E1..E9)")
 	throughput := fs.Bool("throughput", false, "benchmark the streaming dispatcher instead of the E1-E9 suite")
-	backend := fs.String("backend", "atomic", "register backend for -throughput: atomic, mmap[:PATH] or any membackend spec")
-	asJSON := fs.Bool("json", false, "emit the -throughput sweep as JSON instead of Markdown")
+	async := fs.Bool("async", false, "benchmark the async submission pipeline (per-job completion latency percentiles)")
+	backend := fs.String("backend", "atomic", "register backend for -throughput/-async: atomic, mmap[:PATH] or any membackend spec")
+	asJSON := fs.Bool("json", false, "emit the -throughput/-async sweep as JSON instead of Markdown")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *throughput && *async {
+		return fmt.Errorf("-throughput and -async are mutually exclusive")
 	}
 	if *throughput {
 		return runThroughput(*quick, *asJSON, *backend)
 	}
+	if *async {
+		return runAsync(*quick, *asJSON, *backend)
+	}
 	if *asJSON || *backend != "atomic" {
-		return fmt.Errorf("-json and -backend only apply to -throughput")
+		return fmt.Errorf("-json and -backend only apply to -throughput and -async")
 	}
 	s := harness.Suite{Quick: *quick}
 	experiments := map[string]func() *harness.Table{

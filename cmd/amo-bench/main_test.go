@@ -26,6 +26,18 @@ func TestRunThroughputQuick(t *testing.T) {
 	}
 }
 
+func TestRunAsyncQuick(t *testing.T) {
+	if err := run([]string{"-async", "-quick", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAsyncThroughputExclusive(t *testing.T) {
+	if err := run([]string{"-async", "-throughput"}); err == nil {
+		t.Fatal("-async -throughput accepted together")
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if mode(true) != "quick" || mode(false) != "full" {
 		t.Fatal("mode strings wrong")

@@ -61,16 +61,9 @@ func runThroughput(quick, asJSON bool, backend string) error {
 		shapes = shapes[:4]
 	}
 
-	// A pathless "mmap" terminal ("mmap", "counting:mmap") benches
-	// against throwaway register files.
-	cleanup := func() {}
-	if backend == "mmap" || strings.HasSuffix(backend, ":mmap") {
-		dir, err := os.MkdirTemp("", "amo-bench-*")
-		if err != nil {
-			return err
-		}
-		cleanup = func() { os.RemoveAll(dir) }
-		backend += ":" + filepath.Join(dir, "regs")
+	backend, cleanup, err := tempMmap(backend)
+	if err != nil {
+		return err
 	}
 	defer cleanup()
 
@@ -107,6 +100,20 @@ func runThroughput(quick, asJSON bool, backend string) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// tempMmap rewrites a pathless "mmap" terminal ("mmap", "counting:mmap")
+// to bench against throwaway register files; other specs pass through
+// with a no-op cleanup.
+func tempMmap(backend string) (string, func(), error) {
+	if backend != "mmap" && !strings.HasSuffix(backend, ":mmap") {
+		return backend, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "amo-bench-*")
+	if err != nil {
+		return "", nil, err
+	}
+	return backend + ":" + filepath.Join(dir, "regs"), func() { os.RemoveAll(dir) }, nil
 }
 
 // shapeSpec gives every sweep point its own register files: a durable

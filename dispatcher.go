@@ -23,7 +23,27 @@ type DispatcherConfig struct {
 	// the effectiveness-optimal choice).
 	Beta int
 	// MaxBatch caps the jobs a shard executes per round (default 1024).
+	// It is a cap, not the round size: rounds are sized adaptively from
+	// observed queue depth and recent round latency (see RoundTarget).
 	MaxBatch int
+	// QueueDepth bounds each shard's resident jobs — queued plus the
+	// round in flight (0 = unbounded). A saturated shard then exerts
+	// real backpressure: submissions block until rounds free space, or
+	// fail fast, per SubmitPolicy — instead of growing the queue without
+	// bound. The bound holds even while crash-injected residue requeues
+	// and work-stealing migrates jobs.
+	QueueDepth int
+	// SubmitPolicy selects the behavior of submissions into a full shard
+	// queue: Block (default) parks the submitter, FailFast returns
+	// ErrQueueFull without consuming a job id. Only meaningful with
+	// QueueDepth.
+	SubmitPolicy SubmitPolicy
+	// RoundTarget is the adaptive round controller's latency goal: each
+	// shard sizes its rounds so they finish within roughly this duration
+	// at the observed per-job cost, capped by MaxBatch. Smaller targets
+	// bound per-job completion latency; larger targets favor throughput.
+	// 0 means the default (5ms); negative disables adaptive sizing.
+	RoundTarget time.Duration
 	// Jitter adds scheduling noise inside the pools; Seed makes it
 	// deterministic.
 	Jitter bool
@@ -81,18 +101,42 @@ type Dispatcher struct {
 	d *dispatch.Dispatcher
 }
 
+// SubmitPolicy selects what a submission into a full shard queue does;
+// see DispatcherConfig.QueueDepth.
+type SubmitPolicy = dispatch.SubmitPolicy
+
+const (
+	// Block parks the submitter until the shard's rounds free space.
+	Block SubmitPolicy = dispatch.Block
+	// FailFast returns ErrQueueFull instead of waiting; no job id is
+	// consumed, so the caller can simply retry.
+	FailFast SubmitPolicy = dispatch.FailFast
+)
+
+// ErrQueueFull is returned by the submit paths under SubmitPolicy
+// FailFast when the target shard's bounded queue is at QueueDepth.
+var ErrQueueFull = dispatch.ErrQueueFull
+
+// JobResult reports an async-submitted job's completion; exactly one is
+// delivered per future or callback. Recovered marks jobs that resolved
+// from a previous incarnation's durable journal without re-running.
+type JobResult = dispatch.JobResult
+
 // NewDispatcher starts a dispatcher; Close must be called to release its
 // worker pools.
 func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 	dcfg := dispatch.Config{
-		Shards:    cfg.Shards,
-		Workers:   cfg.WorkersPerShard,
-		Beta:      cfg.Beta,
-		MaxBatch:  cfg.MaxBatch,
-		Jitter:    cfg.Jitter,
-		Seed:      cfg.Seed,
-		CrashPlan: cfg.CrashPlan,
-		Expvar:    cfg.Expvar,
+		Shards:      cfg.Shards,
+		Workers:     cfg.WorkersPerShard,
+		Beta:        cfg.Beta,
+		MaxBatch:    cfg.MaxBatch,
+		QueueDepth:  cfg.QueueDepth,
+		Policy:      cfg.SubmitPolicy,
+		RoundTarget: cfg.RoundTarget,
+		Jitter:      cfg.Jitter,
+		Seed:        cfg.Seed,
+		CrashPlan:   cfg.CrashPlan,
+		Expvar:      cfg.Expvar,
 	}
 	if cfg.Backend != "" && cfg.Backend != "atomic" {
 		spec := cfg.Backend
@@ -109,8 +153,29 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 }
 
 // Submit enqueues fn for at-most-once execution and returns its job id.
-// Ids are assigned sequentially from 1.
+// Ids are assigned sequentially from 1. With a bounded queue
+// (QueueDepth) and the target shard saturated, Submit blocks until
+// rounds free space (Block) or fails with ErrQueueFull (FailFast).
 func (d *Dispatcher) Submit(fn func()) (uint64, error) { return d.d.Submit(fn) }
+
+// SubmitAsync enqueues fn like Submit and additionally returns a
+// future: a 1-buffered channel that receives exactly one JobResult once
+// the job has been performed (its payload returned) — or immediately,
+// with Recovered set, when the job resolves from a previous
+// incarnation's durable journal. The channel is never closed.
+// Backpressure applies exactly as for Submit.
+func (d *Dispatcher) SubmitAsync(fn func()) (uint64, <-chan JobResult, error) {
+	return d.d.SubmitAsync(fn)
+}
+
+// SubmitCallback enqueues fn like Submit and invokes done exactly once
+// when the job completes. done runs on the performing shard's loop
+// goroutine — keep it fast, and do not call the dispatcher's blocking
+// methods from it — or synchronously on the submitting goroutine for
+// journal-recovered jobs. A nil done degrades to Submit.
+func (d *Dispatcher) SubmitCallback(fn func(), done func(JobResult)) (uint64, error) {
+	return d.d.SubmitCallback(fn, done)
+}
 
 // SubmitBatch enqueues the jobs in order and returns the first id of their
 // contiguous id block. Acceptance is all-or-nothing: a batch racing Close
@@ -147,32 +212,37 @@ func (d *Dispatcher) ExpvarName() string { return d.d.ExpvarName() }
 func (d *Dispatcher) Stats() DispatcherStats {
 	st := d.d.Stats()
 	out := DispatcherStats{
-		Submitted:  st.Submitted,
-		Performed:  st.Performed,
-		Pending:    st.Pending,
-		Recovered:  st.Recovered,
-		Rounds:     st.Rounds,
-		Residue:    st.Residue,
-		Duplicates: st.Duplicates,
-		Crashes:    st.Crashes,
-		Steps:      st.Steps,
-		Work:       st.Work,
-		EffHist:    st.EffHist,
-		Elapsed:    st.Elapsed,
-		JobsPerSec: st.JobsPerSec,
-		Shards:     make([]DispatcherShardStats, len(st.Shards)),
+		Submitted:          st.Submitted,
+		Performed:          st.Performed,
+		Pending:            st.Pending,
+		Recovered:          st.Recovered,
+		Rounds:             st.Rounds,
+		Residue:            st.Residue,
+		Duplicates:         st.Duplicates,
+		Crashes:            st.Crashes,
+		Steps:              st.Steps,
+		Work:               st.Work,
+		StolenJobs:         st.StolenJobs,
+		SubmitBlockedNanos: st.SubmitBlockedNanos,
+		EffHist:            st.EffHist,
+		Elapsed:            st.Elapsed,
+		JobsPerSec:         st.JobsPerSec,
+		Shards:             make([]DispatcherShardStats, len(st.Shards)),
 	}
 	for i, sh := range st.Shards {
 		out.Shards[i] = DispatcherShardStats{
-			Rounds:        sh.Rounds,
-			Performed:     sh.Performed,
-			Residue:       sh.Residue,
-			Duplicates:    sh.Duplicates,
-			Crashes:       sh.Crashes,
-			Steps:         sh.Steps,
-			Work:          sh.Work,
-			LastBatch:     sh.LastBatch,
-			LastPerformed: sh.LastPerformed,
+			Rounds:             sh.Rounds,
+			Performed:          sh.Performed,
+			Residue:            sh.Residue,
+			Duplicates:         sh.Duplicates,
+			Crashes:            sh.Crashes,
+			Steps:              sh.Steps,
+			Work:               sh.Work,
+			Stolen:             sh.Stolen,
+			SubmitBlockedNanos: sh.SubmitBlockedNanos,
+			QueueDepth:         sh.QueueDepth,
+			LastBatch:          sh.LastBatch,
+			LastPerformed:      sh.LastPerformed,
 		}
 	}
 	return out
@@ -196,6 +266,10 @@ type DispatcherStats struct {
 	Rounds, Residue, Duplicates, Crashes uint64
 	// Steps and Work aggregate the paper's cost measures over all rounds.
 	Steps, Work uint64
+	// StolenJobs counts jobs idle shards claimed from sibling queues
+	// (work-stealing); SubmitBlockedNanos accumulates the time
+	// submitters spent parked on full bounded queues (backpressure).
+	StolenJobs, SubmitBlockedNanos uint64
 	// EffHist is the per-round effectiveness histogram over all shards:
 	// fixed log-scale buckets over each round's loss fraction
 	// 1 − performed/batch. Bucket 0 counts rounds that lost more than
@@ -214,9 +288,13 @@ type DispatcherStats struct {
 
 // DispatcherShardStats reports one shard's counters; see the dispatch
 // package for per-field semantics. LastPerformed/LastBatch is the shard's
-// most recent round effectiveness.
+// most recent round effectiveness; QueueDepth is the shard's pending-job
+// queue length at snapshot time (never above
+// DispatcherConfig.QueueDepth when that is set).
 type DispatcherShardStats struct {
 	Rounds, Performed, Residue, Duplicates, Crashes uint64
 	Steps, Work                                     uint64
+	Stolen, SubmitBlockedNanos                      uint64
+	QueueDepth                                      int
 	LastBatch, LastPerformed                        int
 }

@@ -1,6 +1,7 @@
 package atmostonce
 
 import (
+	"errors"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -82,6 +83,114 @@ func TestDispatcherEndToEnd(t *testing.T) {
 	}
 	if st.Rounds == 0 || st.JobsPerSec <= 0 {
 		t.Fatalf("throughput counters missing: rounds=%d jobs/sec=%f", st.Rounds, st.JobsPerSec)
+	}
+}
+
+// TestDispatcherAsyncAPI drives the public async pipeline end to end:
+// futures and callbacks under a bounded queue, with crash injection
+// forcing residue carry-over, every future resolving exactly once.
+func TestDispatcherAsyncAPI(t *testing.T) {
+	const jobs = 2000
+	d, err := NewDispatcher(DispatcherConfig{
+		Shards:          2,
+		WorkersPerShard: 3,
+		MaxBatch:        64,
+		QueueDepth:      256,
+		SubmitPolicy:    Block,
+		Jitter:          true,
+		Seed:            21,
+		CrashPlan: func(shard, round int) []uint64 {
+			if round >= 8 {
+				return nil
+			}
+			return []uint64{0, uint64(30 + 9*round), 80}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	counts := make([]atomic.Int32, jobs)
+	var fired atomic.Int64
+	chans := make([]<-chan JobResult, 0, jobs/2)
+	ids := make([]uint64, 0, jobs/2)
+	for i := 0; i < jobs; i++ {
+		idx := i
+		if i%2 == 0 {
+			id, ch, err := d.SubmitAsync(func() { counts[idx].Add(1) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans, ids = append(chans, ch), append(ids, id)
+		} else if _, err := d.SubmitCallback(func() { counts[idx].Add(1) },
+			func(JobResult) { fired.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ch := range chans {
+		r := <-ch
+		if r.ID != ids[i] || r.Recovered {
+			t.Fatalf("future %d: %+v, want id %d", i, r, ids[i])
+		}
+	}
+	d.Flush()
+	if got := fired.Load(); got != jobs/2 {
+		t.Fatalf("%d callbacks fired, want %d", got, jobs/2)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+	st := d.Stats()
+	if st.Duplicates != 0 || st.Crashes == 0 {
+		t.Fatalf("duplicates=%d crashes=%d", st.Duplicates, st.Crashes)
+	}
+	for i, sh := range st.Shards {
+		if sh.QueueDepth != 0 {
+			t.Fatalf("shard %d queue depth %d after Flush", i, sh.QueueDepth)
+		}
+	}
+}
+
+// TestDispatcherFailFastAPI: the public FailFast policy surfaces
+// ErrQueueFull and rejections consume no ids.
+func TestDispatcherFailFastAPI(t *testing.T) {
+	gate := make(chan struct{})
+	d, err := NewDispatcher(DispatcherConfig{
+		Shards:          1,
+		WorkersPerShard: 2,
+		MaxBatch:        2,
+		QueueDepth:      2,
+		SubmitPolicy:    FailFast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := uint64(0)
+	sawFull := false
+	for i := 0; i < 64 && !sawFull; i++ {
+		id, err := d.Submit(func() { <-gate })
+		switch {
+		case err == nil:
+			accepted++
+			if id != accepted {
+				t.Fatalf("id %d after %d accepts (rejections burned ids?)", id, accepted)
+			}
+		case errors.Is(err, ErrQueueFull):
+			sawFull = true
+		default:
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("queue never rejected")
+	}
+	close(gate)
+	d.Flush()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,108 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// JobResult reports one submitted job's completion to its future or
+// callback. Exactly one JobResult is delivered per async submission.
+type JobResult struct {
+	// ID is the job's dispatcher-wide id.
+	ID uint64
+	// Recovered is true when the job resolved from a previous
+	// incarnation's durable journal: a prior process performed it, so
+	// this incarnation completed the future without re-running the
+	// payload (the at-most-once guarantee across process death).
+	Recovered bool
+}
+
+// waiterShards is the lock striping of the completion-notification
+// table; a power of two so the modulo is a mask.
+const waiterShards = 16
+
+// waiters is the dispatcher-wide completion-notification table: job id →
+// completion callback, registered by the async submit paths and fired by
+// whichever shard performs the job. Because the table is keyed by the
+// dispatcher-wide id — not by shard — a job's future survives residue
+// carry-over, work-stealing (the performing shard may not be the one the
+// job was submitted to) and durable recovery (a recovered job never
+// reaches a shard; its waiter is fired by the submit path itself).
+type waiters struct {
+	n      atomic.Int64 // registered waiters; lets sync-only workloads skip the table
+	stripe [waiterShards]struct {
+		mu sync.Mutex
+		m  map[uint64]func(JobResult)
+	}
+}
+
+// active reports whether any waiter is registered; shards use it to skip
+// per-job table lookups when the workload is purely synchronous.
+func (w *waiters) active() bool { return w.n.Load() > 0 }
+
+// add registers done to fire when job id completes. The id must not
+// already be registered (ids are unique, and each is registered at most
+// once by its submitting goroutine).
+func (w *waiters) add(id uint64, done func(JobResult)) {
+	s := &w.stripe[id%waiterShards]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]func(JobResult))
+	}
+	s.m[id] = done
+	s.mu.Unlock()
+	w.n.Add(1)
+}
+
+// resolve fires and removes id's waiter, if any. The callback runs on
+// the caller's goroutine, outside all table and shard locks.
+func (w *waiters) resolve(id uint64, r JobResult) {
+	s := &w.stripe[id%waiterShards]
+	s.mu.Lock()
+	done, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		w.n.Add(-1)
+		done(r)
+	}
+}
+
+// resolveAll fires the waiters of every id in ids that has one. Ids
+// without a waiter (plain Submit jobs) are skipped cheaply.
+func (w *waiters) resolveAll(ids []uint64) {
+	for _, id := range ids {
+		if w.n.Load() == 0 {
+			return
+		}
+		w.resolve(id, JobResult{ID: id})
+	}
+}
+
+// SubmitAsync enqueues fn like Submit and additionally returns a future:
+// a 1-buffered channel that receives exactly one JobResult once the job
+// has been performed (after its payload returned), or immediately when
+// the job resolves from a previous incarnation's durable journal. The
+// channel is never closed. Backpressure applies exactly as for Submit:
+// with a bounded queue the call blocks (Block) or fails with
+// ErrQueueFull (FailFast) — a failed call delivers nothing.
+func (d *Dispatcher) SubmitAsync(fn Job) (uint64, <-chan JobResult, error) {
+	ch := make(chan JobResult, 1)
+	id, err := d.submit(fn, func(r JobResult) { ch <- r })
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// SubmitCallback enqueues fn like Submit and invokes done exactly once
+// when the job completes. done runs on the performing shard's loop
+// goroutine — it must be fast and must not call back into the
+// dispatcher's blocking methods (Flush, Close) — or, for jobs resolved
+// from the durable journal, synchronously on the submitting goroutine
+// with Recovered set. A nil done degrades to Submit.
+func (d *Dispatcher) SubmitCallback(fn Job, done func(JobResult)) (uint64, error) {
+	return d.submit(fn, done)
+}

@@ -43,8 +43,33 @@ type Config struct {
 	Beta int
 	// MaxBatch caps the jobs a shard executes in one round (default 1024).
 	// It fixes the shard's register-file capacity, so memory is
-	// S·Workers·MaxBatch registers in total.
+	// S·Workers·MaxBatch registers in total. It is a CAP, not the round
+	// size: each round is sized by the adaptive controller (see
+	// RoundTarget) from observed queue depth and recent round latency.
 	MaxBatch int
+	// QueueDepth bounds each shard's resident jobs — queued plus the
+	// round in flight (0 = unbounded, the legacy behavior). When a shard
+	// is at depth, submissions into it block or fail according to
+	// Policy, so a saturated dispatcher exerts real backpressure instead
+	// of growing its rings without bound. The bound is hard: in-flight
+	// jobs keep holding their slots until their round resolves (any of
+	// them may come back as residue), and a thief steals at most into
+	// its own free capacity, so neither residue carry-over nor
+	// work-stealing pushes a queue past what submitters see.
+	QueueDepth int
+	// Policy selects what a submission into a full shard queue does:
+	// Block (the default) parks the submitter until space frees, FailFast
+	// returns ErrQueueFull immediately. Only meaningful with QueueDepth.
+	Policy SubmitPolicy
+	// RoundTarget is the adaptive round controller's latency goal: each
+	// shard sizes its next round so that — at the EWMA per-job cost
+	// observed over recent rounds — the round should finish within
+	// roughly this duration, capped by MaxBatch and floored at Workers.
+	// Smaller targets cut smaller, more frequent rounds (lower per-job
+	// completion latency); larger targets amortize round overhead
+	// (higher throughput). 0 means DefaultRoundTarget; negative disables
+	// latency-based sizing (rounds are cut from queue depth alone).
+	RoundTarget time.Duration
 	// Jitter adds scheduling noise inside the worker pools; Seed makes it
 	// deterministic.
 	Jitter bool
@@ -87,6 +112,26 @@ type Config struct {
 // payload, and everything else — including the residue the crash cut
 // off mid-round — runs exactly once. Stats.Recovered counts the skips.
 
+// SubmitPolicy selects the behavior of submissions into a shard whose
+// bounded queue is full (Config.QueueDepth).
+type SubmitPolicy int
+
+const (
+	// Block parks the submitter until the shard's rounds free space.
+	Block SubmitPolicy = iota
+	// FailFast returns ErrQueueFull instead of waiting. A rejected
+	// submission consumes no job id, so deterministic re-submission (the
+	// durable recovery contract) is unaffected by transient overload.
+	FailFast
+)
+
+// DefaultRoundTarget is the adaptive controller's latency goal when
+// Config.RoundTarget is zero: long enough that cheap payloads run at
+// full MaxBatch rounds (throughput unharmed), short enough that a queue
+// of slow payloads is cut into small rounds and per-job completion
+// latency stays bounded.
+const DefaultRoundTarget = 5 * time.Millisecond
+
 func (c *Config) normalize() error {
 	if c.Shards <= 0 {
 		c.Shards = 1
@@ -106,11 +151,27 @@ func (c *Config) normalize() error {
 	if c.NewMem != nil && c.MaxJobs <= 0 {
 		return fmt.Errorf("dispatch: NewMem requires MaxJobs > 0 (it sizes the durable journal)")
 	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	switch c.Policy {
+	case Block, FailFast:
+	default:
+		return fmt.Errorf("dispatch: unknown SubmitPolicy %d", c.Policy)
+	}
+	if c.RoundTarget == 0 {
+		c.RoundTarget = DefaultRoundTarget
+	}
 	return nil
 }
 
 // ErrClosed is returned by Submit and SubmitBatch after Close.
 var ErrClosed = errors.New("dispatch: dispatcher is closed")
+
+// ErrQueueFull is returned by the submit paths under Policy FailFast
+// when the target shard's queue is at Config.QueueDepth. The submission
+// consumed no job id; the caller may retry.
+var ErrQueueFull = errors.New("dispatch: shard queue is full (QueueDepth reached)")
 
 // ErrJournalFull is returned by Submit and SubmitBatch when accepting
 // the jobs would assign ids beyond Config.MaxJobs, the capacity of the
@@ -137,6 +198,11 @@ type Dispatcher struct {
 	recMu      sync.Mutex
 	recovered  map[uint64]struct{}
 	recoveredN atomic.Uint64 // jobs resolved from the journal, for Stats
+
+	// waiters is the completion-notification table for the async submit
+	// paths (see async.go): job id → callback, fired by whichever shard
+	// performs the job.
+	waiters waiters
 
 	expvarName string
 
@@ -216,15 +282,33 @@ func (d *Dispatcher) resolveRecovered(id uint64) bool {
 
 // Submit enqueues one job and returns its dispatcher-wide id. The job will
 // be executed at most once, and — as long as the dispatcher keeps running
-// rounds — exactly once.
-func (d *Dispatcher) Submit(fn Job) (uint64, error) {
+// rounds — exactly once. With a bounded queue (Config.QueueDepth) and the
+// target shard saturated, Submit blocks until space frees (Block) or
+// fails with ErrQueueFull without consuming an id (FailFast).
+func (d *Dispatcher) Submit(fn Job) (uint64, error) { return d.submit(fn, nil) }
+
+// submit is the single-job submission core shared by Submit,
+// SubmitAsync and SubmitCallback; done, when non-nil, is registered in
+// the completion table (or fired inline for journal-recovered jobs).
+func (d *Dispatcher) submit(fn Job, done func(JobResult)) (uint64, error) {
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
+	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
+	// FailFast reserves the queue slot BEFORE consuming an id: a rejected
+	// submission must burn nothing, or transient overload would shift the
+	// id sequence and break deterministic re-submission after a crash.
+	failFast := d.cfg.QueueDepth > 0 && d.cfg.Policy == FailFast
+	if failFast && !s.tryReserve(1) {
+		return 0, ErrQueueFull
+	}
 	id := d.nextID.Add(1)
 	if d.cfg.NewMem != nil && id > uint64(d.cfg.MaxJobs) {
+		if failFast {
+			s.unreserve(1)
+		}
 		return 0, ErrJournalFull
 	}
 	d.submitted.Add(1)
@@ -232,12 +316,20 @@ func (d *Dispatcher) Submit(fn Job) (uint64, error) {
 		// A previous incarnation performed this job; resolve it without
 		// re-running the payload (the at-most-once guarantee across
 		// process death).
+		if failFast {
+			s.unreserve(1)
+		}
 		d.recoveredN.Add(1)
+		if done != nil {
+			done(JobResult{ID: id, Recovered: true})
+		}
 		d.jobsDone(1)
 		return id, nil
 	}
-	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
-	s.enqueue(entry{id: id, fn: fn})
+	if done != nil {
+		d.waiters.add(id, done)
+	}
+	s.enqueueOne(entry{id: id, fn: fn}, failFast)
 	return id, nil
 }
 
@@ -245,9 +337,12 @@ func (d *Dispatcher) Submit(fn Job) (uint64, error) {
 // the batch gets the contiguous id block [first, first+len(fns)). Jobs are
 // spread across shards in contiguous chunks, one shard lock per chunk.
 // Acceptance is all-or-nothing: either every job is enqueued (and will be
-// performed) or the call fails — with ErrClosed, or with ErrJournalFull
-// when a durable batch would cross MaxJobs (the reserved ids are burned
-// either way) — and none are.
+// performed) or the call fails — with ErrClosed, with ErrQueueFull when a
+// FailFast batch does not fit into the target shards' free capacity
+// (nothing is enqueued and no ids are consumed), or with ErrJournalFull
+// when a durable batch would cross MaxJobs (the reserved ids are burned)
+// — and none are. Under Block, a batch larger than the free capacity is
+// fed in as rounds drain the queues.
 func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 	if len(fns) == 0 {
 		return 0, nil
@@ -257,53 +352,91 @@ func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
+	plan := d.plan(len(fns))
+	failFast := d.cfg.QueueDepth > 0 && d.cfg.Policy == FailFast
+	if failFast {
+		for i, c := range plan {
+			if !c.s.tryReserve(c.hi - c.lo) {
+				for _, r := range plan[:i] {
+					r.s.unreserve(r.hi - r.lo)
+				}
+				return 0, ErrQueueFull
+			}
+		}
+	}
 	n := uint64(len(fns))
 	first := d.nextID.Add(n) - n + 1
 	if d.cfg.NewMem != nil && first+n-1 > uint64(d.cfg.MaxJobs) {
+		if failFast {
+			for _, c := range plan {
+				c.s.unreserve(c.hi - c.lo)
+			}
+		}
 		return 0, ErrJournalFull
 	}
 	d.submitted.Add(n)
 	if d.recLeft.Load() > 0 {
 		// Recovery is draining: filter out the jobs a previous
-		// incarnation already performed, then spread the rest.
-		pending := make([]entry, 0, len(fns))
-		skipped := 0
-		for i, fn := range fns {
-			id := first + uint64(i)
-			if d.resolveRecovered(id) {
-				skipped++
-			} else {
-				pending = append(pending, entry{id: id, fn: fn})
+		// incarnation already performed, chunk by chunk, and enqueue the
+		// rest.
+		var buf []entry
+		for _, c := range plan {
+			buf = buf[:0]
+			skipped := 0
+			for i := c.lo; i < c.hi; i++ {
+				id := first + uint64(i)
+				if d.resolveRecovered(id) {
+					skipped++
+				} else {
+					buf = append(buf, entry{id: id, fn: fns[i]})
+				}
+			}
+			if skipped > 0 {
+				d.recoveredN.Add(uint64(skipped))
+				if failFast {
+					c.s.unreserve(skipped)
+				}
+				d.jobsDone(skipped)
+			}
+			if len(buf) > 0 {
+				c.s.enqueueEntries(buf, failFast)
 			}
 		}
-		if skipped > 0 {
-			d.recoveredN.Add(uint64(skipped))
-			d.jobsDone(skipped)
-		}
-		d.spread(len(pending), func(s *shard, lo, hi int) {
-			s.enqueueEntries(pending[lo:hi])
-		})
 		return first, nil
 	}
-	d.spread(len(fns), func(s *shard, lo, hi int) {
-		s.enqueueBatch(first+uint64(lo), fns[lo:hi])
-	})
+	for _, c := range plan {
+		c.s.enqueueBatch(first+uint64(c.lo), fns[c.lo:c.hi], failFast)
+	}
 	return first, nil
 }
 
-// spread partitions n queued items into contiguous chunks round-robined
-// across the shards, one enqueue call per non-empty chunk.
-func (d *Dispatcher) spread(n int, enq func(s *shard, lo, hi int)) {
+// chunk is one contiguous slice of a batch, bound for one shard.
+type chunk struct {
+	s      *shard
+	lo, hi int
+}
+
+// plan partitions n queued items into contiguous chunks round-robined
+// across the shards, one chunk per shard. The cursor advances by ONE
+// per batch — advancing by S would keep the start shard constant
+// (base ≡ const mod S), and a batch-only workload whose batches span
+// fewer chunks than Shards would pile onto the same shards forever
+// while the rest sat idle. Materializing the plan (rather than
+// enqueueing on the fly) lets FailFast reserve every chunk's capacity
+// before any id is consumed or any entry enqueued.
+func (d *Dispatcher) plan(n int) []chunk {
 	S := len(d.shards)
-	base := int(d.rr.Add(uint64(S)) - uint64(S))
-	chunk := (n + S - 1) / S
-	for i := 0; i < S && i*chunk < n; i++ {
-		lo, hi := i*chunk, (i+1)*chunk
+	base := int(d.rr.Add(1) - 1)
+	per := (n + S - 1) / S
+	out := make([]chunk, 0, S)
+	for i := 0; i < S && i*per < n; i++ {
+		lo, hi := i*per, (i+1)*per
 		if hi > n {
 			hi = n
 		}
-		enq(d.shards[(base+i)%S], lo, hi)
+		out = append(out, chunk{d.shards[(base+i)%S], lo, hi})
 	}
+	return out
 }
 
 // Flush blocks until every job submitted so far has been performed — i.e.
@@ -429,6 +562,17 @@ type ShardStats struct {
 	// Steps and Work aggregate the paper's cost measures over all rounds.
 	Steps uint64
 	Work  uint64
+	// Stolen counts the jobs this shard claimed from sibling queues while
+	// idle (work-stealing); they were performed — and, when durable,
+	// journaled — by this shard under its own backend and lease.
+	Stolen uint64
+	// SubmitBlockedNanos accumulates the time submitters spent parked
+	// waiting for space in this shard's bounded queue (Policy Block).
+	SubmitBlockedNanos uint64
+	// QueueDepth is the shard's pending-job queue length at snapshot
+	// time (not cumulative). With Config.QueueDepth set it never exceeds
+	// it.
+	QueueDepth int
 	// LastBatch and LastPerformed describe the most recent round: jobs in,
 	// jobs done. LastPerformed/LastBatch is the round's effectiveness.
 	LastBatch     int
@@ -457,6 +601,12 @@ type Stats struct {
 	Crashes    uint64
 	Steps      uint64
 	Work       uint64
+	// StolenJobs sums the shards' work-stealing counters;
+	// SubmitBlockedNanos sums the time submitters spent blocked on full
+	// shard queues (backpressure). Per-shard breakdowns (including each
+	// queue's current depth) are in Shards.
+	StolenJobs         uint64
+	SubmitBlockedNanos uint64
 	// EffHist sums the shards' per-round effectiveness histograms; see
 	// EffBuckets for the log-scale bucket semantics.
 	EffHist [EffBuckets]uint64
@@ -488,6 +638,7 @@ func (d *Dispatcher) Stats() Stats {
 	for i, s := range d.shards {
 		s.mu.Lock()
 		st.Shards[i] = s.stats
+		st.Shards[i].QueueDepth = s.q.len()
 		s.mu.Unlock()
 		st.Rounds += st.Shards[i].Rounds
 		st.Residue += st.Shards[i].Residue
@@ -495,6 +646,8 @@ func (d *Dispatcher) Stats() Stats {
 		st.Crashes += st.Shards[i].Crashes
 		st.Steps += st.Shards[i].Steps
 		st.Work += st.Shards[i].Work
+		st.StolenJobs += st.Shards[i].Stolen
+		st.SubmitBlockedNanos += st.Shards[i].SubmitBlockedNanos
 		for b, n := range st.Shards[i].EffHist {
 			st.EffHist[b] += n
 		}

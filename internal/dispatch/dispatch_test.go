@@ -240,31 +240,5 @@ func TestDispatcherIDs(t *testing.T) {
 	}
 }
 
-func TestRingDeque(t *testing.T) {
-	var r ring
-	for i := 1; i <= 40; i++ {
-		r.pushBack(entry{id: uint64(i)})
-	}
-	r.pushFront(entry{id: 0})
-	for want := uint64(0); want <= 40; want++ {
-		if got := r.popFront().id; got != want {
-			t.Fatalf("popFront = %d, want %d", got, want)
-		}
-	}
-	if r.len() != 0 {
-		t.Fatalf("len = %d after drain", r.len())
-	}
-	// Wrap-around: interleave front/back pushes against pops.
-	for i := 0; i < 100; i++ {
-		r.pushBack(entry{id: uint64(i)})
-		r.pushFront(entry{id: uint64(1000 + i)})
-		if got := r.popFront().id; got != uint64(1000+i) {
-			t.Fatalf("iteration %d: popFront = %d", i, got)
-		}
-	}
-	for want := uint64(0); want < 100; want++ {
-		if got := r.popFront().id; got != want {
-			t.Fatalf("popFront = %d, want %d", got, want)
-		}
-	}
-}
+// The ring deque's unit tests (grow, shrink, wraparound, stealBack)
+// live in queue_test.go.

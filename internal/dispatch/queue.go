@@ -6,14 +6,28 @@ type entry struct {
 	fn Job
 }
 
-// ring is a growable double-ended queue of entries. Residue carried over
-// from a round is pushed back at the FRONT so old jobs keep their place in
-// line ahead of newly submitted ones. Capacity is retained across rounds,
-// so a steady-state workload enqueues and dequeues without allocating.
+// minRingCap is the smallest backing array the ring keeps once it has
+// grown at all; below this, shrinking saves too little to be worth the
+// copy churn.
+const minRingCap = 64
+
+// ring is a growable, shrinkable double-ended queue of entries. Residue
+// carried over from a round is pushed back at the FRONT so old jobs keep
+// their place in line ahead of newly submitted ones; work-stealing takes
+// from the BACK, so a thief claims the youngest jobs and the victim keeps
+// its residue. Capacity is retained across rounds, so a steady-state
+// workload enqueues and dequeues without allocating — but a one-time
+// spike no longer pins memory forever: after sustained low occupancy
+// (see low/maybeShrink) the backing array is halved.
 type ring struct {
 	buf  []entry
 	head int
 	n    int
+	// low counts consecutive dequeues observed at ≤ 1/8 occupancy; it is
+	// reset whenever the queue refills past 1/4. A halving is triggered
+	// only once low reaches the current capacity, so the O(n) copy is
+	// amortized O(1) per operation and a brief dip never thrashes.
+	low int
 }
 
 func (r *ring) len() int { return r.n }
@@ -27,7 +41,28 @@ func (r *ring) grow() {
 	for i := 0; i < r.n; i++ {
 		nb[i] = r.buf[(r.head+i)%len(r.buf)]
 	}
-	r.buf, r.head = nb, 0
+	r.buf, r.head, r.low = nb, 0, 0
+}
+
+// maybeShrink halves the backing array after sustained low occupancy.
+// Hysteresis: shrink requires ≤ 1/8 occupancy sustained for a full
+// capacity's worth of dequeues, and the result is ≥ 1/4 free, so a
+// workload oscillating around a steady peak neither grows nor shrinks.
+func (r *ring) maybeShrink() {
+	c := len(r.buf)
+	if c <= minRingCap || r.n*8 > c {
+		r.low = 0
+		return
+	}
+	if r.low++; r.low < c {
+		return
+	}
+	nc := c / 2
+	nb := make([]entry, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%c]
+	}
+	r.buf, r.head, r.low = nb, 0, 0
 }
 
 func (r *ring) pushBack(e entry) {
@@ -36,6 +71,9 @@ func (r *ring) pushBack(e entry) {
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = e
 	r.n++
+	if r.n*4 >= len(r.buf) {
+		r.low = 0
+	}
 }
 
 func (r *ring) pushFront(e entry) {
@@ -45,6 +83,9 @@ func (r *ring) pushFront(e entry) {
 	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
 	r.buf[r.head] = e
 	r.n++
+	if r.n*4 >= len(r.buf) {
+		r.low = 0
+	}
 }
 
 func (r *ring) popFront() entry {
@@ -52,5 +93,21 @@ func (r *ring) popFront() entry {
 	r.buf[r.head] = entry{}
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
+	r.maybeShrink()
 	return e
+}
+
+// stealBack removes the last len(dst) entries — the youngest jobs — into
+// dst, preserving their relative order. The caller must ensure
+// len(dst) ≤ r.len().
+func (r *ring) stealBack(dst []entry) {
+	k := len(dst)
+	c := len(r.buf)
+	for i := 0; i < k; i++ {
+		idx := (r.head + r.n - k + i) % c
+		dst[i] = r.buf[idx]
+		r.buf[idx] = entry{}
+	}
+	r.n -= k
+	r.maybeShrink()
 }

@@ -1,0 +1,143 @@
+package dispatch
+
+import "testing"
+
+// TestRingGrowWraparound drives the deque through interleaved
+// front/back pushes and pops so growth happens with a wrapped layout.
+func TestRingGrowWraparound(t *testing.T) {
+	var r ring
+	for i := 1; i <= 40; i++ {
+		r.pushBack(entry{id: uint64(i)})
+	}
+	r.pushFront(entry{id: 0})
+	for want := uint64(0); want <= 40; want++ {
+		if got := r.popFront().id; got != want {
+			t.Fatalf("popFront = %d, want %d", got, want)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len = %d after drain", r.len())
+	}
+	// Wrap-around: interleave front/back pushes against pops.
+	for i := 0; i < 100; i++ {
+		r.pushBack(entry{id: uint64(i)})
+		r.pushFront(entry{id: uint64(1000 + i)})
+		if got := r.popFront().id; got != uint64(1000+i) {
+			t.Fatalf("iteration %d: popFront = %d", i, got)
+		}
+	}
+	for want := uint64(0); want < 100; want++ {
+		if got := r.popFront().id; got != want {
+			t.Fatalf("popFront = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestRingShrink: a one-time spike must not pin the backing array
+// forever — after a sustained stretch of low occupancy the ring halves,
+// and FIFO order survives every reallocation.
+func TestRingShrink(t *testing.T) {
+	var r ring
+	const spike = 4096
+	for i := 0; i < spike; i++ {
+		r.pushBack(entry{id: uint64(i)})
+	}
+	grown := cap(r.buf)
+	if grown < spike {
+		t.Fatalf("cap %d after %d pushes", grown, spike)
+	}
+	for i := 0; i < spike; i++ {
+		if got := r.popFront().id; got != uint64(i) {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+	// Steady state far below the spike: keep ~32 entries live while
+	// cycling many operations; the ring should shed capacity.
+	next := uint64(spike)
+	head := uint64(spike)
+	for i := 0; i < 32; i++ {
+		r.pushBack(entry{id: next})
+		next++
+	}
+	for op := 0; op < 64*spike; op++ {
+		r.pushBack(entry{id: next})
+		next++
+		if got := r.popFront().id; got != head {
+			t.Fatalf("op %d: pop = %d, want %d", op, got, head)
+		}
+		head++
+	}
+	if cap(r.buf) >= grown {
+		t.Fatalf("ring never shrank: cap still %d (spike-time cap %d)", cap(r.buf), grown)
+	}
+	if cap(r.buf) < minRingCap {
+		t.Fatalf("ring shrank below the floor: cap %d < %d", cap(r.buf), minRingCap)
+	}
+	// Everything still drains in order.
+	for r.len() > 0 {
+		if got := r.popFront().id; got != head {
+			t.Fatalf("drain: pop = %d, want %d", got, head)
+		}
+		head++
+	}
+}
+
+// TestRingShrinkHysteresis: a workload oscillating around a steady peak
+// must not thrash between grow and shrink.
+func TestRingShrinkHysteresis(t *testing.T) {
+	var r ring
+	// Establish a capacity for a peak of ~100.
+	for i := 0; i < 100; i++ {
+		r.pushBack(entry{id: uint64(i)})
+	}
+	for r.len() > 0 {
+		r.popFront()
+	}
+	c := cap(r.buf)
+	// Many full drain/refill cycles at the same peak: capacity stable.
+	id := uint64(0)
+	for cycle := 0; cycle < 200; cycle++ {
+		for i := 0; i < 100; i++ {
+			r.pushBack(entry{id: id})
+			id++
+		}
+		for r.len() > 0 {
+			r.popFront()
+		}
+		if cap(r.buf) != c {
+			t.Fatalf("cycle %d: cap moved %d → %d", cycle, c, cap(r.buf))
+		}
+	}
+}
+
+// TestRingStealBack: stealing takes the youngest entries, preserves
+// their relative order, and leaves the victim's front (the residue end)
+// untouched.
+func TestRingStealBack(t *testing.T) {
+	var r ring
+	// Offset head so the steal range wraps the backing array.
+	for i := 0; i < 10; i++ {
+		r.pushBack(entry{id: 999})
+	}
+	for i := 0; i < 10; i++ {
+		r.popFront()
+	}
+	for i := 1; i <= 20; i++ {
+		r.pushBack(entry{id: uint64(i)})
+	}
+	buf := make([]entry, 8)
+	r.stealBack(buf)
+	for i, e := range buf {
+		if want := uint64(13 + i); e.id != want {
+			t.Fatalf("stolen[%d] = %d, want %d", i, e.id, want)
+		}
+	}
+	if r.len() != 12 {
+		t.Fatalf("victim keeps %d, want 12", r.len())
+	}
+	for want := uint64(1); want <= 12; want++ {
+		if got := r.popFront().id; got != want {
+			t.Fatalf("victim pop = %d, want %d", got, want)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package dispatch
 
 import (
+	"math"
 	"sync"
+	"time"
 
 	"atmostonce/internal/conc"
 	"atmostonce/internal/membackend"
@@ -11,13 +13,20 @@ import (
 // shard is one independent KKβ instance: a persistent worker pool, a
 // pending-job deque and the loop that cuts rounds. The loop goroutine is
 // the only round orchestrator, so everything it touches between rounds
-// (batch, runtime) needs no lock; the deque and stats are shared with
-// Submit/Stats and guarded by mu.
+// (batch, runtime, the adaptive-controller state) needs no lock; the
+// deque, the reservation counter and stats are shared with Submit/Stats
+// and guarded by mu.
 type shard struct {
 	d  *Dispatcher
 	id int
 	m  int
 	rt *conc.Runtime
+
+	// Backpressure shape, fixed at construction: depth is the bounded
+	// queue capacity (0 = unbounded) and target the adaptive
+	// controller's per-round latency goal in nanoseconds (≤ 0 disables).
+	depth  int
+	target float64
 
 	// Durable state (nil/zero for in-process shards): the register
 	// backend, the journal geometry and the per-worker append cursors.
@@ -34,8 +43,11 @@ type shard struct {
 	jcur    []int
 
 	mu        sync.Mutex
-	cond      *sync.Cond
+	cond      *sync.Cond // queue became non-empty (or shard closed)
+	notFull   *sync.Cond // queue space freed, for Block-policy submitters
 	q         ring
+	reserved  int // slots reserved but not yet enqueued (FailFast, steals)
+	inflight  int // jobs of the round in flight, still holding their slots
 	closed    bool
 	abandoned bool
 	stats     ShardStats
@@ -47,6 +59,18 @@ type shard struct {
 	lastK  int
 	execFn func(worker, local int)
 	done   chan struct{}
+
+	// Adaptive round controller (loop goroutine only): ewmaPerJob is the
+	// smoothed wall-clock cost per batch slot of recent rounds, lastTaken
+	// the size of the last round's real batch — the next round is capped
+	// at target/ewmaPerJob and at 2·lastTaken (ramp smoothing), floored
+	// at m, so round size follows observed load instead of pinning at
+	// MaxBatch.
+	ewmaPerJob float64
+	lastTaken  int
+
+	stealBuf []entry  // scratch for work-stealing transfers
+	doneIDs  []uint64 // scratch: ids performed this round, for waiter resolution
 }
 
 // newShard builds one shard. With a durable backend it also performs
@@ -54,11 +78,13 @@ type shard struct {
 // incarnation already performed.
 func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
 	s := &shard{
-		d:     d,
-		id:    id,
-		m:     d.cfg.Workers,
-		batch: make([]entry, d.cfg.MaxBatch),
-		done:  make(chan struct{}),
+		d:      d,
+		id:     id,
+		m:      d.cfg.Workers,
+		depth:  d.cfg.QueueDepth,
+		target: float64(d.cfg.RoundTarget),
+		batch:  make([]entry, d.cfg.MaxBatch),
+		done:   make(chan struct{}),
 	}
 	opts := conc.RuntimeOptions{
 		M:        d.cfg.Workers,
@@ -85,6 +111,7 @@ func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
 	}
 	s.rt = rt
 	s.cond = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
 	s.execFn = s.exec
 	return s, recovered, nil
 }
@@ -103,33 +130,112 @@ func (s *shard) exec(worker, local int) {
 	e.fn()
 }
 
-// enqueue and enqueueBatch are only reachable while the dispatcher's
-// closeMu barrier guarantees the shard loop is still running (Close waits
-// for in-flight submitters before stopping shards), so enqueued jobs are
-// always drained.
-func (s *shard) enqueue(e entry) {
-	s.mu.Lock()
-	s.q.pushBack(e)
+// space reports the free queue slots; unbounded queues are always open.
+// Caller holds s.mu. Reservations (FailFast submissions, in-progress
+// steals) count as occupied so a reserved batch can never be beaten to
+// its slots — and so do the in-flight round's jobs, which keep holding
+// their slots until finishRound resolves them: the round may requeue
+// any of them as residue, and a slot freed early would let submitters
+// refill underneath and push the requeue past QueueDepth.
+func (s *shard) space() int {
+	if s.depth <= 0 {
+		return math.MaxInt
+	}
+	free := s.depth - s.q.len() - s.reserved - s.inflight
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// waitSpace parks the caller until at least one queue slot is free,
+// folding the blocked time into SubmitBlockedNanos. Caller holds s.mu;
+// returns with s.mu held and space() ≥ 1 — or with the shard abandoned,
+// the one case where space can never free (abandon stops the loop
+// without the closeMu barrier Close uses; the caller then dumps its
+// entries into the dead queue, exactly like memory of a killed
+// process). The shard loop keeps draining while submitters wait (Close
+// stops it only after all in-flight submitters finish), so the wait
+// always terminates.
+func (s *shard) waitSpace() {
+	if s.space() > 0 || s.abandoned {
+		return
+	}
+	// The loop may be parked waiting for work that is already queued;
+	// make sure it sees it before we park on the opposite condition.
 	s.cond.Signal()
+	t0 := time.Now()
+	for s.space() == 0 && !s.abandoned {
+		s.notFull.Wait()
+	}
+	s.stats.SubmitBlockedNanos += uint64(time.Since(t0))
+}
+
+// tryReserve claims k queue slots for a FailFast submission without
+// enqueueing yet, so multi-shard batches can be accepted all-or-nothing
+// before any id is consumed. It fails if fewer than k slots are free.
+func (s *shard) tryReserve(k int) bool {
+	s.mu.Lock()
+	ok := s.space() >= k
+	if ok {
+		s.reserved += k
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// unreserve releases reserved slots that will not be used (rejected
+// batch, journal-full, or journal-recovered jobs).
+func (s *shard) unreserve(k int) {
+	s.mu.Lock()
+	s.reserved -= k
+	s.notFull.Broadcast()
 	s.mu.Unlock()
 }
 
-func (s *shard) enqueueBatch(firstID uint64, fns []Job) {
+// feed appends n entries produced by get(i); reserved marks slots
+// claimed via tryReserve (pushed in one pass), otherwise the call feeds
+// them in as space frees, signaling the loop so it can drain underneath
+// a parked submitter. The enqueue paths are only reachable while the
+// dispatcher's closeMu barrier guarantees the shard loop is still
+// running (Close waits for in-flight submitters before stopping
+// shards), so enqueued jobs are always drained.
+func (s *shard) feed(n int, get func(i int) entry, reserved bool) {
 	s.mu.Lock()
-	for i, fn := range fns {
-		s.q.pushBack(entry{id: firstID + uint64(i), fn: fn})
+	if reserved {
+		s.reserved -= n
 	}
-	s.cond.Signal()
+	for i := 0; i < n; {
+		free := n - i
+		if !reserved {
+			s.waitSpace()
+			if free = s.space(); s.abandoned {
+				free = n - i // dead shard: dump the rest, like a killed process
+			}
+		}
+		for ; free > 0 && i < n; free-- {
+			s.q.pushBack(get(i))
+			i++
+		}
+		s.cond.Signal()
+	}
 	s.mu.Unlock()
 }
 
-func (s *shard) enqueueEntries(es []entry) {
-	s.mu.Lock()
-	for _, e := range es {
-		s.q.pushBack(e)
-	}
-	s.cond.Signal()
-	s.mu.Unlock()
+// enqueueOne appends one entry; see feed.
+func (s *shard) enqueueOne(e entry, reserved bool) {
+	s.feed(1, func(int) entry { return e }, reserved)
+}
+
+// enqueueBatch appends the contiguous id block [firstID, firstID+len(fns)).
+func (s *shard) enqueueBatch(firstID uint64, fns []Job, reserved bool) {
+	s.feed(len(fns), func(i int) entry { return entry{id: firstID + uint64(i), fn: fns[i]} }, reserved)
+}
+
+// enqueueEntries is enqueueBatch for pre-built entries (the recovery
+// filter path).
+func (s *shard) enqueueEntries(es []entry, reserved bool) {
+	s.feed(len(es), func(i int) entry { return es[i] }, reserved)
 }
 
 // stop marks the shard closed and wakes the loop so it can drain and exit.
@@ -157,13 +263,16 @@ func (s *shard) abandon() {
 	s.mu.Lock()
 	s.abandoned = true
 	s.cond.Signal()
+	s.notFull.Broadcast() // release Block-policy submitters parked on a dead queue
 	s.mu.Unlock()
 }
 
-// loop is the shard's round engine: cut a batch off the deque, execute it
-// as one KKβ round (padded up to m when the batch is short), push the
-// unperformed residue back onto the FRONT of the deque, repeat. On close
-// it drains the deque — including residue — before exiting.
+// loop is the shard's round engine: cut an adaptively sized batch off
+// the deque (stealing from the deepest sibling when idle), execute it as
+// one KKβ round (padded up to m when the batch is short), push the
+// unperformed residue back onto the FRONT of the deque, resolve the
+// performed jobs' futures, repeat. On close it drains the deque —
+// including residue and anything stolen — before exiting.
 func (s *shard) loop() {
 	defer close(s.done)
 	for {
@@ -176,22 +285,74 @@ func (s *shard) loop() {
 			k = s.m // KKβ needs n ≥ m; slots n..k-1 are no-op padding
 		}
 		round := int(s.stats.Rounds)
+		t0 := time.Now()
 		res, err := s.rt.RunRound(k, s.execFn, s.crashVector(round))
 		if err != nil {
 			// Unreachable: k and the crash vector are validated here.
 			panic("dispatch: " + err.Error())
 		}
-		performed := s.finishRound(n, res)
+		s.observeRound(n, k, time.Since(t0))
+		performed, doneIDs := s.finishRound(n, res)
+		if len(doneIDs) > 0 {
+			s.d.waiters.resolveAll(doneIDs)
+		}
 		s.d.jobsDone(performed)
 	}
 }
 
+// roundLimit is the adaptive controller's cut: how many jobs the next
+// round may take. MaxBatch is the cap (it sizes the register file), m
+// the floor (KKβ needs n ≥ m); in between the limit tracks the latency
+// target — at the observed EWMA per-job cost, a round should finish
+// within roughly Config.RoundTarget — and ramps at most 2× the previous
+// round, so a burst after an idle stretch doesn't jump straight from a
+// trickle round to MaxBatch on a stale cost estimate.
+func (s *shard) roundLimit() int {
+	limit := len(s.batch)
+	if s.target > 0 && s.ewmaPerJob > 0 {
+		if c := int(s.target / s.ewmaPerJob); c < limit {
+			limit = c
+		}
+	}
+	if s.lastTaken > 0 {
+		if r := 2 * s.lastTaken; r < limit {
+			limit = r
+		}
+	}
+	if limit < s.m {
+		limit = s.m
+	}
+	return limit
+}
+
+// observeRound feeds one executed round back into the controller: k
+// slots (real jobs plus padding) took dur, so the per-slot cost estimate
+// is dur/k, smoothed 1:3 into the EWMA.
+func (s *shard) observeRound(n, k int, dur time.Duration) {
+	s.lastTaken = n
+	per := float64(dur) / float64(k)
+	if s.ewmaPerJob == 0 {
+		s.ewmaPerJob = per
+	} else {
+		s.ewmaPerJob = 0.75*s.ewmaPerJob + 0.25*per
+	}
+}
+
 // takeBatch blocks until jobs are pending (or the shard is closed and
-// drained), then moves up to MaxBatch of them into the batch buffer. It
-// returns the number of real jobs taken; 0 means exit.
+// drained), then moves up to roundLimit of them into the batch buffer.
+// Before parking on an empty queue it tries to steal a slice of the
+// deepest sibling queue. It returns the number of real jobs taken; 0
+// means exit.
 func (s *shard) takeBatch() int {
 	s.mu.Lock()
 	for s.q.len() == 0 && !s.closed && !s.abandoned {
+		// Idle: claim work from the deepest sibling before parking.
+		s.mu.Unlock()
+		stole := s.stealWork()
+		s.mu.Lock()
+		if stole > 0 || s.q.len() > 0 || s.closed || s.abandoned {
+			continue
+		}
 		s.cond.Wait()
 	}
 	n := s.q.len()
@@ -199,12 +360,17 @@ func (s *shard) takeBatch() int {
 		s.mu.Unlock()
 		return 0
 	}
-	if n > len(s.batch) {
-		n = len(s.batch)
+	if limit := s.roundLimit(); n > limit {
+		n = limit
 	}
 	for i := 0; i < n; i++ {
 		s.batch[i] = s.q.popFront()
 	}
+	// The popped jobs keep holding their queue slots (inflight) until
+	// finishRound requeues the residue and frees the performed ones;
+	// freeing them here would let submitters refill underneath the round
+	// and push the residue requeue past QueueDepth.
+	s.inflight = n
 	s.mu.Unlock()
 	// Clear the slots the previous round used beyond this batch, so stale
 	// payloads can never be reached through padding ids.
@@ -216,6 +382,87 @@ func (s *shard) takeBatch() int {
 		s.lastK = s.m
 	}
 	return n
+}
+
+// stealWork claims up to half of the deepest sibling queue for this
+// (idle) shard. Stolen entries keep their dispatcher-wide ids and —
+// because the completion table is dispatcher-wide — their waiters; the
+// thief journals whatever it performs under its OWN backend and lease,
+// and the recovery scan unions all shards' journals, so at-most-once and
+// fencing are untouched by migration. The take is capped at MaxBatch and
+// at the thief's own free capacity — reserved up front, so concurrent
+// submitters cannot race the transfer past QueueDepth. Locks are taken
+// one shard at a time (self, victim, self), so thieves can never
+// deadlock against each other.
+func (s *shard) stealWork() int {
+	shards := s.d.shards
+	if len(shards) < 2 {
+		return 0
+	}
+	var victim *shard
+	deepest := 1 // a steal must leave the victim work: need ≥ 2 pending
+	for _, v := range shards {
+		if v == s {
+			continue
+		}
+		v.mu.Lock()
+		l := v.q.len()
+		v.mu.Unlock()
+		if l > deepest {
+			deepest, victim = l, v
+		}
+	}
+	if victim == nil {
+		return 0
+	}
+	// Reserve the thief's own free capacity before touching the victim:
+	// submitters may refill this queue while the victim is being robbed,
+	// and an unreserved steal landing on top of them would push a
+	// bounded queue past QueueDepth.
+	max := len(s.batch)
+	if s.depth > 0 {
+		s.mu.Lock()
+		if free := s.space(); free < max {
+			max = free
+		}
+		s.reserved += max
+		s.mu.Unlock()
+		if max == 0 {
+			return 0
+		}
+	}
+	victim.mu.Lock()
+	k := victim.q.len() / 2 // re-read under the lock; the scan was racy
+	if k > max {
+		k = max
+	}
+	if k > 0 {
+		if cap(s.stealBuf) < k {
+			s.stealBuf = make([]entry, k)
+		}
+		victim.q.stealBack(s.stealBuf[:k])
+		if victim.depth > 0 {
+			victim.notFull.Broadcast()
+		}
+	}
+	victim.mu.Unlock()
+	buf := s.stealBuf[:k]
+	s.mu.Lock()
+	if s.depth > 0 {
+		s.reserved -= max
+		if k < max {
+			s.notFull.Broadcast() // give unused reservation back to submitters
+		}
+	}
+	for _, e := range buf {
+		s.q.pushBack(e)
+	}
+	s.stats.Stolen += uint64(k)
+	s.mu.Unlock()
+	for i := range buf {
+		buf[i] = entry{} // don't pin payloads past the transfer
+	}
+	return k
 }
 
 // crashVector asks the configured plan for this round's crash injection
@@ -239,8 +486,10 @@ func (s *shard) crashVector(round int) []uint64 {
 
 // finishRound requeues the real residue at the front of the deque and
 // folds the round into the shard stats. It returns the number of real
-// jobs performed this round.
-func (s *shard) finishRound(n int, res *conc.RoundResult) int {
+// jobs performed this round and — when any async waiter is registered —
+// their ids, for resolution outside the lock.
+func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []uint64) {
+	collect := s.d.waiters.active()
 	s.mu.Lock()
 	requeued := 0
 	for i := len(res.Unperformed) - 1; i >= 0; i-- {
@@ -248,6 +497,27 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) int {
 			s.q.pushFront(s.batch[local-1])
 			requeued++
 		}
+	}
+	var doneIDs []uint64
+	if collect && requeued < n {
+		// The performed slots are 1..n minus the (ascending) unperformed
+		// list; walk the two in lockstep.
+		s.doneIDs = s.doneIDs[:0]
+		ui := 0
+		for local := 1; local <= n; local++ {
+			if ui < len(res.Unperformed) && res.Unperformed[ui] == local {
+				ui++
+				continue
+			}
+			s.doneIDs = append(s.doneIDs, s.batch[local-1].id)
+		}
+		doneIDs = s.doneIDs
+	}
+	// The round's slots are resolved: residue went back to the queue,
+	// the rest are free for parked submitters.
+	s.inflight = 0
+	if s.depth > 0 {
+		s.notFull.Broadcast()
 	}
 	performed := n - requeued
 	s.stats.Rounds++
@@ -261,5 +531,5 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) int {
 	s.stats.LastPerformed = performed
 	s.stats.EffHist[effBucket(performed, n)]++
 	s.mu.Unlock()
-	return performed
+	return performed, doneIDs
 }

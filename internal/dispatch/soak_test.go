@@ -1,0 +1,233 @@
+package dispatch
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDispatcherRandomSoak is the dispatcher-level chaos soak: randomized
+// shard/worker/queue shapes, continuous crash injection via CrashPlan,
+// and concurrent async submitters mixing every submission path. Each
+// iteration asserts the full contract — every job executed exactly once,
+// every future resolved exactly once, zero duplicates, bounded queues
+// never exceeded. Iterations default low so `go test ./...` stays fast;
+// CI's soak job raises them via AMO_SOAK_ITERS. Run under -race.
+func TestDispatcherRandomSoak(t *testing.T) {
+	iters := 3
+	if s := os.Getenv("AMO_SOAK_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad AMO_SOAK_ITERS %q: %v", s, err)
+		}
+		iters = n
+	}
+	if testing.Short() {
+		iters = 2
+	}
+	seed := time.Now().UnixNano()
+	t.Logf("soak seed %d (%d iterations)", seed, iters)
+	rng := rand.New(rand.NewSource(seed))
+	for it := 0; it < iters; it++ {
+		cfg := Config{
+			Shards:   1 + rng.Intn(4),
+			Workers:  2 + rng.Intn(4),
+			MaxBatch: 16 << rng.Intn(4),
+			Jitter:   rng.Intn(2) == 0,
+			Seed:     rng.Int63(),
+		}
+		if rng.Intn(2) == 0 {
+			cfg.QueueDepth = 8 << rng.Intn(5)
+		}
+		if rng.Intn(3) == 0 {
+			cfg.RoundTarget = time.Duration(1+rng.Intn(5)) * time.Millisecond
+		}
+		// Continuous crash injection: every round, each worker but a
+		// guaranteed survivor crashes at a random step. Crash parameters
+		// must be deterministic per (shard, round) — the plan is called
+		// from concurrent shard loops — so derive them by hashing.
+		crashSeed := rng.Int63()
+		m := cfg.Workers
+		cfg.CrashPlan = func(shard, round int) []uint64 {
+			h := uint64(crashSeed) ^ uint64(shard)*0x9E3779B97F4A7C15 ^ uint64(round)*0xBF58476D1CE4E5B9
+			v := make([]uint64, m)
+			for i := 1; i < m; i++ {
+				h ^= h >> 27
+				h *= 0x94D049BB133111EB
+				if h%4 != 0 { // 3/4 of the non-survivor workers crash
+					// Low step budgets: bounded queues cut tiny rounds, and a
+					// budget beyond a worker's total steps never fires.
+					v[i] = 2 + h%48
+				}
+			}
+			return v
+		}
+		jobs := 2000 + rng.Intn(4000)
+		t.Logf("iter %d: shards=%d workers=%d maxBatch=%d queueDepth=%d target=%v jobs=%d",
+			it, cfg.Shards, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, cfg.RoundTarget, jobs)
+		soakOnce(t, cfg, jobs, rng.Int63())
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// soakOnce drives one randomized dispatcher shape with 4 concurrent
+// submitters and verifies the exactly-once and exactly-one-resolution
+// contracts.
+func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	eo := newExactlyOnce(jobs)
+	resolutions := make([]atomic.Int32, jobs)
+	isAsync := make([]atomic.Bool, jobs)
+
+	// Live invariant sampler: a bounded queue must never be observed
+	// past QueueDepth, crash-injected residue and stealing included.
+	stopSampler := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	if cfg.QueueDepth > 0 {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			for {
+				for i, sh := range d.Stats().Shards {
+					if sh.QueueDepth > cfg.QueueDepth {
+						t.Errorf("soak: shard %d queue observed at %d, bound %d", i, sh.QueueDepth, cfg.QueueDepth)
+						return
+					}
+				}
+				select {
+				case <-stopSampler:
+					return
+				default:
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	const submitters = 4
+	var wg sync.WaitGroup
+	per := jobs / submitters
+	for p := 0; p < submitters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(p)))
+			lo, hi := p*per, (p+1)*per
+			if p == submitters-1 {
+				hi = jobs
+			}
+			for i := lo; i < hi; {
+				switch rng.Intn(4) {
+				case 0: // plain Submit
+					if _, err := d.Submit(eo.job(i)); err != nil {
+						t.Error(err)
+						return
+					}
+					i++
+				case 1: // future
+					idx := i
+					isAsync[idx].Store(true)
+					_, ch, err := d.SubmitAsync(eo.job(idx))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					go func() {
+						r := <-ch
+						if r.ID == 0 {
+							t.Error("future resolved with zero id")
+						}
+						resolutions[idx].Add(1)
+					}()
+					i++
+				case 2: // callback
+					idx := i
+					isAsync[idx].Store(true)
+					if _, err := d.SubmitCallback(eo.job(idx), func(JobResult) {
+						resolutions[idx].Add(1)
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					i++
+				default: // batch
+					n := 1 + rng.Intn(40)
+					if n > hi-i {
+						n = hi - i
+					}
+					fns := make([]Job, n)
+					for j := 0; j < n; j++ {
+						fns[j] = eo.job(i + j)
+					}
+					if _, err := d.SubmitBatch(fns); err != nil {
+						t.Error(err)
+						return
+					}
+					i += n
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		close(stopSampler)
+		samplerWG.Wait()
+		return
+	}
+	d.Flush()
+	close(stopSampler)
+	samplerWG.Wait()
+	eo.verify(t)
+
+	st := d.Stats()
+	if st.Duplicates != 0 {
+		t.Fatalf("soak: %d duplicates", st.Duplicates)
+	}
+	if st.Performed != uint64(jobs) || st.Pending != 0 {
+		t.Fatalf("soak: performed %d pending %d of %d", st.Performed, st.Pending, jobs)
+	}
+	if st.Crashes == 0 {
+		t.Fatal("soak: crash plan injected nothing")
+	}
+	if cfg.QueueDepth > 0 {
+		for i, sh := range st.Shards {
+			if sh.QueueDepth > cfg.QueueDepth {
+				t.Fatalf("soak: shard %d queue depth %d exceeds bound %d", i, sh.QueueDepth, cfg.QueueDepth)
+			}
+		}
+	}
+	// Every async submission resolved exactly once. Callbacks fire before
+	// Flush returns; futures hand off through a helper goroutine, so give
+	// those stragglers a moment.
+	waitFor(t, "all futures resolved", func() bool {
+		for i := range resolutions {
+			if isAsync[i].Load() && resolutions[i].Load() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for i := range resolutions {
+		c := resolutions[i].Load()
+		if isAsync[i].Load() && c != 1 {
+			t.Fatalf("soak: async job index %d resolved %d times", i, c)
+		}
+		if !isAsync[i].Load() && c != 0 {
+			t.Fatalf("soak: plain job index %d got %d resolutions", i, c)
+		}
+	}
+	if d.waiters.n.Load() != 0 {
+		t.Fatalf("soak: completion table not drained: %d waiters", d.waiters.n.Load())
+	}
+}
