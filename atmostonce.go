@@ -18,7 +18,9 @@
 // real goroutines over sync/atomic registers. NewDispatcher serves a
 // continuous job stream: it batches submissions into rounds across
 // independent KKβ shards and carries each round's unperformed residue into
-// the next, so the per-round effectiveness tail is deferred, never lost.
+// the next, so the per-round effectiveness tail is deferred, never lost;
+// jobs enter through Dispatcher.Do as Task descriptors carrying
+// deadlines, priorities and completion callbacks.
 // Simulate executes the algorithms under a deterministic adversarial
 // scheduler with crash injection and returns effectiveness/work/collision
 // measurements — the mode used to reproduce the paper's results

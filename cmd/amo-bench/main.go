@@ -10,6 +10,11 @@
 // Block) and the sweep reports per-job completion latency percentiles
 // (p50/p99/p999, submit → future resolution) alongside throughput,
 // stolen-job and backpressure counters.
+// With -priority it benchmarks the v2 priority scheduler on a classic
+// inversion workload — a High burst behind a deep Low backlog — and
+// reports each class's p50/p99 completion latency next to the v1
+// single-ring baseline (the identical stream, all Normal priority),
+// plus the High-p99 speedup.
 // -backend selects the register backend (atomic, mmap[:PATH],
 // net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
 // cost of durable journaling — local or networked — is measurable;
@@ -22,6 +27,7 @@
 //	amo-bench [-quick] [-only E3]
 //	amo-bench -throughput [-quick] [-backend mmap] [-json]
 //	amo-bench -async [-quick] [-backend mmap] [-json]
+//	amo-bench -priority [-quick] [-json]
 package main
 
 import (
@@ -47,13 +53,20 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a single experiment (E1..E9)")
 	throughput := fs.Bool("throughput", false, "benchmark the streaming dispatcher instead of the E1-E9 suite")
 	async := fs.Bool("async", false, "benchmark the async submission pipeline (per-job completion latency percentiles)")
+	priority := fs.Bool("priority", false, "benchmark priority scheduling: per-class p50/p99 latency for a High burst behind a Low backlog, vs the v1 single-ring baseline")
 	backend := fs.String("backend", "atomic", "register backend for -throughput/-async: atomic, mmap[:PATH] or any membackend spec")
-	asJSON := fs.Bool("json", false, "emit the -throughput/-async sweep as JSON instead of Markdown")
+	asJSON := fs.Bool("json", false, "emit the -throughput/-async/-priority sweep as JSON instead of Markdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *throughput && *async {
-		return fmt.Errorf("-throughput and -async are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*throughput, *async, *priority} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-throughput, -async and -priority are mutually exclusive")
 	}
 	if *throughput {
 		return runThroughput(*quick, *asJSON, *backend)
@@ -61,8 +74,14 @@ func run(args []string) error {
 	if *async {
 		return runAsync(*quick, *asJSON, *backend)
 	}
+	if *priority {
+		if *backend != "atomic" {
+			return fmt.Errorf("-priority runs on the atomic backend only")
+		}
+		return runPriority(*quick, *asJSON)
+	}
 	if *asJSON || *backend != "atomic" {
-		return fmt.Errorf("-json and -backend only apply to -throughput and -async")
+		return fmt.Errorf("-json and -backend only apply to -throughput, -async and -priority")
 	}
 	s := harness.Suite{Quick: *quick}
 	experiments := map[string]func() *harness.Table{

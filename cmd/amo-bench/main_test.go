@@ -36,6 +36,21 @@ func TestRunAsyncThroughputExclusive(t *testing.T) {
 	if err := run([]string{"-async", "-throughput"}); err == nil {
 		t.Fatal("-async -throughput accepted together")
 	}
+	if err := run([]string{"-async", "-priority"}); err == nil {
+		t.Fatal("-async -priority accepted together")
+	}
+}
+
+func TestRunPriorityQuick(t *testing.T) {
+	if err := run([]string{"-priority", "-quick", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPriorityBackendRejected(t *testing.T) {
+	if err := run([]string{"-priority", "-backend", "mmap"}); err == nil {
+		t.Fatal("-priority -backend mmap accepted")
+	}
 }
 
 func TestModeString(t *testing.T) {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"atmostonce"
+)
+
+// priorityClass is one scheduling class's measured completion-latency
+// split (submit → resolution).
+type priorityClass struct {
+	Jobs      int     `json:"jobs"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// priorityRun is one full run of the inversion workload: a deep Low
+// backlog with a burst of High jobs submitted behind it.
+type priorityRun struct {
+	// Label is "v2" (High/Low classes) or "v1-baseline" (every job
+	// Normal — the single-ring behavior the v1 API had).
+	Label      string        `json:"label"`
+	High       priorityClass `json:"high"`
+	Low        priorityClass `json:"low"`
+	Rounds     uint64        `json:"rounds"`
+	Expired    uint64        `json:"expired"`
+	Duplicates uint64        `json:"duplicates"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+}
+
+// priorityReport is the -priority -json document.
+type priorityReport struct {
+	Mode    string      `json:"mode"`
+	Backlog int         `json:"backlog"`
+	Burst   int         `json:"burst"`
+	Spin    string      `json:"spin"`
+	V2      priorityRun `json:"v2"`
+	V1      priorityRun `json:"v1_baseline"`
+	// SpeedupP99 is the priority-inversion win: the v1 baseline's High
+	// p99 over v2's. The acceptance bar is ≥ 5.
+	SpeedupP99 float64 `json:"high_p99_speedup"`
+}
+
+// runPriority benchmarks the v2 priority scheduling against the v1
+// single-ring behavior on a classic inversion workload: a deep backlog
+// of Low-priority jobs is queued first, then a burst of High-priority
+// jobs arrives behind it. Under v2 the burst jumps to the next rounds;
+// under the baseline (every job Normal — exactly what the v1 API could
+// express) the burst waits out the backlog. Reported per class:
+// p50/p99 submit→completion latency.
+func runPriority(quick, asJSON bool) error {
+	backlog, burst, spin := 30_000, 64, 20*time.Microsecond
+	if quick {
+		backlog = 8_000
+	}
+	v2, err := priorityOnce(backlog, burst, spin, true)
+	if err != nil {
+		return err
+	}
+	v1, err := priorityOnce(backlog, burst, spin, false)
+	if err != nil {
+		return err
+	}
+	report := priorityReport{
+		Mode: mode(quick), Backlog: backlog, Burst: burst, Spin: spin.String(),
+		V2: v2, V1: v1,
+	}
+	if v2.High.P99Micros > 0 {
+		report.SpeedupP99 = v1.High.P99Micros / v2.High.P99Micros
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("# Priority scheduling latency split (%s mode)\n\n", report.Mode)
+	fmt.Printf("%d-job Low backlog (%v spin payloads), then a %d-job High burst; 2 shards × 4 workers, RoundTarget 2ms.\n\n",
+		backlog, spin, burst)
+	fmt.Println("| run | high p50 µs | high p99 µs | low p50 µs | low p99 µs | rounds | dups |")
+	fmt.Println("|-----|------------:|------------:|-----------:|-----------:|-------:|-----:|")
+	for _, r := range []priorityRun{v2, v1} {
+		fmt.Printf("| %s | %.1f | %.1f | %.1f | %.1f | %d | %d |\n",
+			r.Label, r.High.P50Micros, r.High.P99Micros, r.Low.P50Micros, r.Low.P99Micros, r.Rounds, r.Duplicates)
+	}
+	fmt.Printf("\nHigh-priority p99 speedup vs the v1 single-ring baseline: **%.1f×**\n\n", report.SpeedupP99)
+	return nil
+}
+
+// priorityOnce runs the inversion workload once. usePriorities selects
+// the v2 classes; false replays the identical job stream with every
+// Task at Normal priority — the v1 single-ring schedule.
+func priorityOnce(backlog, burst int, spin time.Duration, usePriorities bool) (priorityRun, error) {
+	var zero priorityRun
+	run := priorityRun{Label: "v1-baseline"}
+	lowPri, highPri := atmostonce.Normal, atmostonce.Normal
+	if usePriorities {
+		run.Label = "v2"
+		lowPri, highPri = atmostonce.Low, atmostonce.High
+	}
+	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
+		Shards:          2,
+		WorkersPerShard: 4,
+		MaxBatch:        512,
+		RoundTarget:     2 * time.Millisecond,
+	})
+	if err != nil {
+		return zero, err
+	}
+	defer d.Close()
+
+	payload := func(context.Context) error {
+		for t0 := time.Now(); time.Since(t0) < spin; {
+		}
+		return nil
+	}
+	// Sample every 16th backlog job's latency; callbacks append to the
+	// shared slice under lowMu (they fire on the shard loops).
+	lowLat := make([]int64, 0, backlog/16+1)
+	var lowMu sync.Mutex
+	start := time.Now()
+	ctx := context.Background()
+	tasks := make([]atmostonce.Task, backlog)
+	for i := range tasks {
+		tasks[i] = atmostonce.Task{Fn: payload, Priority: lowPri}
+		if i%16 == 0 {
+			t0 := time.Now()
+			tasks[i].Callback = func(atmostonce.JobResult) {
+				l := int64(time.Since(t0))
+				lowMu.Lock()
+				lowLat = append(lowLat, l)
+				lowMu.Unlock()
+			}
+		}
+	}
+	if _, err := d.DoBatch(ctx, tasks); err != nil {
+		return zero, err
+	}
+	// The burst arrives behind the whole backlog.
+	highLat := make([]int64, burst)
+	var wg sync.WaitGroup
+	wg.Add(burst)
+	for i := 0; i < burst; i++ {
+		idx := i
+		t0 := time.Now()
+		if _, err := d.Do(ctx, atmostonce.Task{
+			Fn:       payload,
+			Priority: highPri,
+			Callback: func(atmostonce.JobResult) {
+				highLat[idx] = int64(time.Since(t0))
+				wg.Done()
+			},
+		}); err != nil {
+			return zero, err
+		}
+	}
+	wg.Wait()
+	d.Flush()
+	run.ElapsedMS = float64(time.Since(start)) / 1e6
+
+	st := d.Stats()
+	if st.Duplicates != 0 {
+		return zero, fmt.Errorf("priority: %d duplicate executions", st.Duplicates)
+	}
+	if st.Performed != uint64(backlog+burst) {
+		return zero, fmt.Errorf("priority: performed %d of %d jobs", st.Performed, backlog+burst)
+	}
+	run.Rounds, run.Expired, run.Duplicates = st.Rounds, st.Expired, st.Duplicates
+	run.High = classStats(highLat)
+	run.Low = classStats(lowLat)
+	return run, nil
+}
+
+// classStats folds one class's latency samples into its report row.
+func classStats(lat []int64) priorityClass {
+	c := priorityClass{Jobs: len(lat)}
+	if len(lat) == 0 {
+		return c
+	}
+	sorted := make([]int64, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) float64 { return float64(sorted[int(p*float64(len(sorted)-1))]) / 1e3 }
+	c.P50Micros, c.P99Micros = pct(0.50), pct(0.99)
+	return c
+}

@@ -1,6 +1,7 @@
 package atmostonce
 
 import (
+	"context"
 	"time"
 
 	"atmostonce/internal/dispatch"
@@ -90,6 +91,16 @@ type DispatcherConfig struct {
 // long as the dispatcher runs, exactly once; the per-round effectiveness
 // tail of ≤ β+m−2 jobs is deferred, never lost.
 //
+// Do(ctx, Task) is the submission entry point: a Task carries its
+// payload plus an optional deadline, priority (each shard drains High
+// before Normal before Low) and completion callback, and the returned
+// Handle exposes the job's future. A job whose deadline passes before
+// its round is assembled is never started and resolves with Expired set
+// — expiry can only turn "run once" into "run zero times", so
+// at-most-once is untouched. The v1 paths (Submit, SubmitAsync,
+// SubmitCallback, SubmitBatch) remain as thin wrappers over the same
+// core.
+//
 // With a durable Backend ("mmap:PATH") at-most-once extends across
 // process death: performed jobs are journaled in the register file
 // before their payload runs, and a restarted dispatcher over the same
@@ -117,10 +128,48 @@ const (
 // FailFast when the target shard's bounded queue is at QueueDepth.
 var ErrQueueFull = dispatch.ErrQueueFull
 
-// JobResult reports an async-submitted job's completion; exactly one is
-// delivered per future or callback. Recovered marks jobs that resolved
-// from a previous incarnation's durable journal without re-running.
+// ErrClosed is returned by every submission path after (or racing) Close
+// — including Block-policy submitters that were parked on a full queue
+// when Close began: they are released with ErrClosed, their job ids
+// unconsumed, instead of hanging.
+var ErrClosed = dispatch.ErrClosed
+
+// ErrNilFn is returned by Do and DoBatch for a Task without a payload.
+var ErrNilFn = dispatch.ErrNilFn
+
+// JobResult reports a job's completion; exactly one is delivered per
+// Handle future or callback. Err carries the payload's returned error
+// (or context.DeadlineExceeded when Expired is set); Expired marks jobs
+// whose deadline passed before their round was assembled (the payload
+// never ran); Recovered marks jobs that resolved from a previous
+// incarnation's durable journal without re-running.
 type JobResult = dispatch.JobResult
+
+// Task is the v2 job descriptor accepted by Do and DoBatch: a payload
+// plus its scheduling contract (deadline, priority, optional completion
+// callback). It subsumes all four v1 submission paths — see the README's
+// migration table.
+type Task = dispatch.Task
+
+// Handle identifies an accepted Task: its dispatcher-wide job id and a
+// Done() future delivering exactly one JobResult.
+type Handle = dispatch.Handle
+
+// Priority is a Task's scheduling class. Shards drain High before
+// Normal before Low (FIFO within a class, residue keeps its place in
+// its own class); a lower class is delayed only while a higher one has
+// queued work.
+type Priority = dispatch.Priority
+
+const (
+	// Normal is the default (zero-value) priority; all v1 submissions
+	// use it.
+	Normal Priority = dispatch.Normal
+	// High jobs jump every queued Normal and Low job.
+	High Priority = dispatch.High
+	// Low jobs run only when no High or Normal work is queued.
+	Low Priority = dispatch.Low
+)
 
 // NewDispatcher starts a dispatcher; Close must be called to release its
 // worker pools.
@@ -152,10 +201,44 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 	return &Dispatcher{d: d}, nil
 }
 
+// Do is the v2 submission entry point: it accepts one Task — payload,
+// optional deadline, priority and completion callback — and returns its
+// Handle (job id plus Done() future). It subsumes all four v1 paths:
+// Submit is Do with a bare payload, SubmitAsync is Handle.Done,
+// SubmitCallback is Task.Callback, SubmitBatch is DoBatch.
+//
+// ctx governs admission: a cancelled or expired ctx releases a
+// Block-policy submitter parked on a full queue (and a racing Close
+// releases it with ErrClosed) WITHOUT consuming a job id, so the id
+// sequence stays dense for deterministic re-submission. Once Do returns
+// nil, the Task will resolve exactly once — performed (Err carrying the
+// payload's error), Expired (deadline passed before its round was
+// assembled; the payload never ran), or Recovered (durable journal) —
+// regardless of ctx.
+func (d *Dispatcher) Do(ctx context.Context, t Task) (Handle, error) { return d.d.Do(ctx, t) }
+
+// DoBatch submits the Tasks in order, returning one Handle per Task
+// over a contiguous id block; acceptance is all-or-nothing exactly as
+// for SubmitBatch. ctx is checked only BEFORE acceptance (a dead ctx
+// rejects the batch with nothing consumed); unlike Do's single-job
+// admission, an accepted Block-policy batch consumes its ids
+// immediately and is fed in un-abortably as rounds free space — its ids
+// are already part of the deterministic sequence, so cancelling ctx
+// mid-feed cannot release it. An EMPTY batch returns the sentinel
+// (nil, nil): no job id is consumed and no shard is touched — real ids
+// start at 1.
+func (d *Dispatcher) DoBatch(ctx context.Context, tasks []Task) ([]Handle, error) {
+	return d.d.DoBatch(ctx, tasks)
+}
+
 // Submit enqueues fn for at-most-once execution and returns its job id.
 // Ids are assigned sequentially from 1. With a bounded queue
 // (QueueDepth) and the target shard saturated, Submit blocks until
 // rounds free space (Block) or fails with ErrQueueFull (FailFast).
+//
+// Deprecated: Submit is the v1 path, kept as a thin wrapper; use Do,
+// which adds ctx-aware admission, deadlines, priorities and error
+// reporting.
 func (d *Dispatcher) Submit(fn func()) (uint64, error) { return d.d.Submit(fn) }
 
 // SubmitAsync enqueues fn like Submit and additionally returns a
@@ -164,6 +247,9 @@ func (d *Dispatcher) Submit(fn func()) (uint64, error) { return d.d.Submit(fn) }
 // with Recovered set, when the job resolves from a previous
 // incarnation's durable journal. The channel is never closed.
 // Backpressure applies exactly as for Submit.
+//
+// Deprecated: SubmitAsync is the v1 path, kept as a thin wrapper; use
+// Do — the Handle's Done() is the future.
 func (d *Dispatcher) SubmitAsync(fn func()) (uint64, <-chan JobResult, error) {
 	return d.d.SubmitAsync(fn)
 }
@@ -173,6 +259,9 @@ func (d *Dispatcher) SubmitAsync(fn func()) (uint64, <-chan JobResult, error) {
 // goroutine — keep it fast, and do not call the dispatcher's blocking
 // methods from it — or synchronously on the submitting goroutine for
 // journal-recovered jobs. A nil done degrades to Submit.
+//
+// Deprecated: SubmitCallback is the v1 path, kept as a thin wrapper;
+// use Do with Task.Callback.
 func (d *Dispatcher) SubmitCallback(fn func(), done func(JobResult)) (uint64, error) {
 	return d.d.SubmitCallback(fn, done)
 }
@@ -180,6 +269,13 @@ func (d *Dispatcher) SubmitCallback(fn func(), done func(JobResult)) (uint64, er
 // SubmitBatch enqueues the jobs in order and returns the first id of their
 // contiguous id block. Acceptance is all-or-nothing: a batch racing Close
 // is either fully accepted (and performed) or rejected with an error.
+//
+// An EMPTY batch returns the sentinel (0, nil): no job id is consumed
+// and no shard is touched. The sentinel is disjoint from real ids,
+// which start at 1 (DoBatch's empty-batch sentinel is (nil, nil)).
+//
+// Deprecated: SubmitBatch is the v1 path, kept as a thin wrapper; use
+// DoBatch.
 func (d *Dispatcher) SubmitBatch(fns []func()) (uint64, error) {
 	if len(fns) == 0 {
 		return 0, nil
@@ -191,9 +287,15 @@ func (d *Dispatcher) SubmitBatch(fns []func()) (uint64, error) {
 	return d.d.SubmitBatch(jobs)
 }
 
-// Flush blocks until every job submitted so far has been performed,
-// including residue carried across rounds.
+// Flush blocks until every job submitted so far has resolved —
+// performed, expired, or recovered — including residue carried across
+// rounds.
 func (d *Dispatcher) Flush() { d.d.Flush() }
+
+// FlushContext is Flush with a deadline: it returns nil once every job
+// submitted so far has resolved, or ctx.Err() when ctx is cancelled or
+// expires first. The dispatcher keeps draining either way.
+func (d *Dispatcher) FlushContext(ctx context.Context) error { return d.d.FlushContext(ctx) }
 
 // Close drains pending jobs, stops the shards and releases the pools;
 // durable backends are synced and closed. Subsequent Submits fail.
@@ -216,6 +318,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Performed:          st.Performed,
 		Pending:            st.Pending,
 		Recovered:          st.Recovered,
+		Expired:            st.Expired,
 		Rounds:             st.Rounds,
 		Residue:            st.Residue,
 		Duplicates:         st.Duplicates,
@@ -234,6 +337,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 			Rounds:             sh.Rounds,
 			Performed:          sh.Performed,
 			Residue:            sh.Residue,
+			Expired:            sh.Expired,
 			Duplicates:         sh.Duplicates,
 			Crashes:            sh.Crashes,
 			Steps:              sh.Steps,
@@ -257,8 +361,10 @@ type DispatcherStats struct {
 	// Submitted, Performed and Pending count jobs end to end; Pending jobs
 	// are queued or in flight. Recovered counts re-submitted jobs that
 	// resolved from a previous incarnation's durable journal without
-	// re-running (included in Performed).
-	Submitted, Performed, Pending, Recovered uint64
+	// re-running; Expired counts jobs whose deadline passed before their
+	// round was assembled (the payload never ran). Both are included in
+	// Performed, so Submitted = Performed + Pending always holds.
+	Submitted, Performed, Pending, Recovered, Expired uint64
 	// Rounds is the number of executed rounds across all shards; Residue
 	// counts jobs that were carried from one round to a later one (each
 	// carry counts once). Duplicates is always 0 — it is reported so
@@ -293,6 +399,7 @@ type DispatcherStats struct {
 // DispatcherConfig.QueueDepth when that is set).
 type DispatcherShardStats struct {
 	Rounds, Performed, Residue, Duplicates, Crashes uint64
+	Expired                                         uint64
 	Steps, Work                                     uint64
 	Stolen, SubmitBlockedNanos                      uint64
 	QueueDepth                                      int

@@ -1,8 +1,11 @@
 package atmostonce_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"atmostonce"
 )
@@ -27,6 +30,63 @@ func ExampleRun() {
 	// duplicates: 0
 	// accounted: true
 	// within guarantee: true
+}
+
+// ExampleDispatcher_Do shows the v2 submission API's two ctx-shaped
+// behaviors: a submission context that expires while the submitter is
+// parked on a full queue releases it WITHOUT consuming a job id, and a
+// Task whose deadline passes before its round is assembled is never
+// started — it resolves exactly once with Expired set.
+func ExampleDispatcher_Do() {
+	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
+		Shards:          1,
+		WorkersPerShard: 2,
+		QueueDepth:      2, // tiny bounded queue, easy to fill
+		SubmitPolicy:    atmostonce.Block,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer d.Close()
+	bg := context.Background()
+
+	// Fill the shard: two gated jobs occupy the whole bounded queue.
+	gate := make(chan struct{})
+	blocked := atmostonce.Task{Fn: func(context.Context) error { <-gate; return nil }}
+	if _, err := d.Do(bg, blocked); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := d.Do(bg, blocked); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// Cancellation: admission into the full queue parks the submitter;
+	// the expiring ctx releases it, job id unconsumed.
+	ctx, cancel := context.WithTimeout(bg, 10*time.Millisecond)
+	defer cancel()
+	_, err = d.Do(ctx, atmostonce.Task{Fn: func(context.Context) error { return nil }})
+	fmt.Println("admission cancelled:", errors.Is(err, context.DeadlineExceeded))
+	close(gate)
+
+	// Deadline miss: a deadline already in the past expires at round
+	// assembly — the payload below never runs.
+	h, err := d.Do(bg, atmostonce.Task{
+		Fn:       func(context.Context) error { fmt.Println("never printed"); return nil },
+		Deadline: time.Now().Add(-time.Millisecond),
+		Priority: atmostonce.Low,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r := <-h.Done()
+	fmt.Println("expired:", r.Expired, "err:", r.Err)
+	// Output:
+	// admission cancelled: true
+	// expired: true err: context deadline exceeded
 }
 
 // ExampleWriteAll guarantees completion instead (duplicates allowed —

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -10,6 +11,16 @@ import (
 type JobResult struct {
 	// ID is the job's dispatcher-wide id.
 	ID uint64
+	// Err is the payload's returned error (always nil for the v1 func()
+	// paths, whose payloads cannot fail), or context.DeadlineExceeded
+	// when Expired is set. An error does not affect at-most-once
+	// accounting: the job ran once and counts performed.
+	Err error
+	// Expired is true when the job's deadline passed before its round
+	// was assembled: the payload never ran and never will (an expired
+	// job is removed at round-assembly time, so at-most-once is
+	// untouched), and Err is context.DeadlineExceeded.
+	Expired bool
 	// Recovered is true when the job resolved from a previous
 	// incarnation's durable journal: a prior process performed it, so
 	// this incarnation completed the future without re-running the
@@ -70,14 +81,14 @@ func (w *waiters) resolve(id uint64, r JobResult) {
 	}
 }
 
-// resolveAll fires the waiters of every id in ids that has one. Ids
+// resolveResults fires the waiter (if any) of every result's id. Ids
 // without a waiter (plain Submit jobs) are skipped cheaply.
-func (w *waiters) resolveAll(ids []uint64) {
-	for _, id := range ids {
+func (w *waiters) resolveResults(rs []JobResult) {
+	for _, r := range rs {
 		if w.n.Load() == 0 {
 			return
 		}
-		w.resolve(id, JobResult{ID: id})
+		w.resolve(r.ID, r)
 	}
 }
 
@@ -90,7 +101,7 @@ func (w *waiters) resolveAll(ids []uint64) {
 // ErrQueueFull (FailFast) — a failed call delivers nothing.
 func (d *Dispatcher) SubmitAsync(fn Job) (uint64, <-chan JobResult, error) {
 	ch := make(chan JobResult, 1)
-	id, err := d.submit(fn, func(r JobResult) { ch <- r })
+	id, err := d.do(context.Background(), entry{fn0: fn}, func(r JobResult) { ch <- r })
 	if err != nil {
 		return 0, nil, err
 	}
@@ -104,5 +115,5 @@ func (d *Dispatcher) SubmitAsync(fn Job) (uint64, <-chan JobResult, error) {
 // from the durable journal, synchronously on the submitting goroutine
 // with Recovered set. A nil done degrades to Submit.
 func (d *Dispatcher) SubmitCallback(fn Job, done func(JobResult)) (uint64, error) {
-	return d.submit(fn, done)
+	return d.do(context.Background(), entry{fn0: fn}, done)
 }

@@ -247,7 +247,7 @@ func TestBackpressureBlock(t *testing.T) {
 				if l := int64(s.q.len()); l > maxDepth.Load() {
 					maxDepth.Store(l)
 				}
-				if c := int64(cap(s.q.buf)); c > maxCap.Load() {
+				if c := int64(s.q.capCells()); c > maxCap.Load() {
 					maxCap.Store(c)
 				}
 				s.mu.Unlock()

@@ -16,6 +16,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"fmt"
@@ -284,29 +285,49 @@ func (d *Dispatcher) resolveRecovered(id uint64) bool {
 // be executed at most once, and — as long as the dispatcher keeps running
 // rounds — exactly once. With a bounded queue (Config.QueueDepth) and the
 // target shard saturated, Submit blocks until space frees (Block) or
-// fails with ErrQueueFull without consuming an id (FailFast).
-func (d *Dispatcher) Submit(fn Job) (uint64, error) { return d.submit(fn, nil) }
+// fails with ErrQueueFull without consuming an id (FailFast). A Close
+// racing a parked Block-policy Submit releases it with ErrClosed, id
+// unconsumed. Submit is the v1 path, equivalent to Do with a bare
+// Normal-priority Task.
+func (d *Dispatcher) Submit(fn Job) (uint64, error) {
+	return d.do(context.Background(), entry{fn0: fn}, nil)
+}
 
-// submit is the single-job submission core shared by Submit,
-// SubmitAsync and SubmitCallback; done, when non-nil, is registered in
-// the completion table (or fired inline for journal-recovered jobs).
-func (d *Dispatcher) submit(fn Job, done func(JobResult)) (uint64, error) {
+// do is the single-job submission core shared by Do, Submit, SubmitAsync
+// and SubmitCallback; done, when non-nil, is registered in the
+// completion table (or fired inline for journal-recovered jobs). e
+// carries the payload and scheduling descriptor; its id is assigned
+// here.
+//
+// Admission order matters: the queue slot is claimed BEFORE the id is
+// consumed — FailFast by reservation, Block by parking in reserveWait —
+// so a rejected, cancelled (ctx) or close-released submission burns
+// nothing. Anything else would shift the id sequence under transient
+// overload and break the deterministic re-submission contract durable
+// recovery depends on.
+func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
 	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
-	// FailFast reserves the queue slot BEFORE consuming an id: a rejected
-	// submission must burn nothing, or transient overload would shift the
-	// id sequence and break deterministic re-submission after a crash.
-	failFast := d.cfg.QueueDepth > 0 && d.cfg.Policy == FailFast
-	if failFast && !s.tryReserve(1) {
-		return 0, ErrQueueFull
+	bounded := d.cfg.QueueDepth > 0
+	if bounded {
+		if d.cfg.Policy == FailFast {
+			if !s.tryReserve(1) {
+				return 0, ErrQueueFull
+			}
+		} else if err := s.reserveWait(ctx); err != nil {
+			return 0, err
+		}
 	}
 	id := d.nextID.Add(1)
 	if d.cfg.NewMem != nil && id > uint64(d.cfg.MaxJobs) {
-		if failFast {
+		if bounded {
 			s.unreserve(1)
 		}
 		return 0, ErrJournalFull
@@ -316,7 +337,7 @@ func (d *Dispatcher) submit(fn Job, done func(JobResult)) (uint64, error) {
 		// A previous incarnation performed this job; resolve it without
 		// re-running the payload (the at-most-once guarantee across
 		// process death).
-		if failFast {
+		if bounded {
 			s.unreserve(1)
 		}
 		d.recoveredN.Add(1)
@@ -329,7 +350,8 @@ func (d *Dispatcher) submit(fn Job, done func(JobResult)) (uint64, error) {
 	if done != nil {
 		d.waiters.add(id, done)
 	}
-	s.enqueueOne(entry{id: id, fn: fn}, failFast)
+	e.id = id
+	s.enqueueOne(e, bounded)
 	return id, nil
 }
 
@@ -343,16 +365,36 @@ func (d *Dispatcher) submit(fn Job, done func(JobResult)) (uint64, error) {
 // when a durable batch would cross MaxJobs (the reserved ids are burned)
 // — and none are. Under Block, a batch larger than the free capacity is
 // fed in as rounds drain the queues.
+//
+// An EMPTY batch returns the sentinel (0, nil): no job id is consumed,
+// no shard is touched, and 0 is never a real id — real ids start at 1.
+// SubmitBatch is the v1 path, equivalent to DoBatch with bare
+// Normal-priority Tasks (whose empty-batch sentinel is (nil, nil)).
 func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 	if len(fns) == 0 {
 		return 0, nil
+	}
+	return d.doBatch(context.Background(), len(fns),
+		func(i int) entry { return entry{fn0: fns[i]} }, nil)
+}
+
+// doBatch is the batch submission core shared by SubmitBatch and
+// DoBatch: n entries produced by entryAt (ids assigned here), each with
+// an optional completion waiter from doneAt (nil for waiter-less
+// batches). ctx governs admission only — it is checked before any id is
+// consumed; an accepted batch is fed in fully even if ctx is cancelled
+// mid-feed, because its ids are already part of the deterministic
+// sequence.
+func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry, doneAt func(int) func(JobResult)) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
-	plan := d.plan(len(fns))
+	plan := d.plan(n)
 	failFast := d.cfg.QueueDepth > 0 && d.cfg.Policy == FailFast
 	if failFast {
 		for i, c := range plan {
@@ -364,9 +406,9 @@ func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 			}
 		}
 	}
-	n := uint64(len(fns))
-	first := d.nextID.Add(n) - n + 1
-	if d.cfg.NewMem != nil && first+n-1 > uint64(d.cfg.MaxJobs) {
+	un := uint64(n)
+	first := d.nextID.Add(un) - un + 1
+	if d.cfg.NewMem != nil && first+un-1 > uint64(d.cfg.MaxJobs) {
 		if failFast {
 			for _, c := range plan {
 				c.s.unreserve(c.hi - c.lo)
@@ -374,21 +416,35 @@ func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 		}
 		return 0, ErrJournalFull
 	}
-	d.submitted.Add(n)
+	d.submitted.Add(un)
 	if d.recLeft.Load() > 0 {
 		// Recovery is draining: filter out the jobs a previous
 		// incarnation already performed, chunk by chunk, and enqueue the
-		// rest.
+		// rest. Waiters are registered (or fired, for recovered jobs)
+		// before each chunk is enqueued, so no job can complete ahead of
+		// its waiter.
 		var buf []entry
 		for _, c := range plan {
 			buf = buf[:0]
 			skipped := 0
 			for i := c.lo; i < c.hi; i++ {
 				id := first + uint64(i)
+				done := func(JobResult) {}
+				if doneAt != nil {
+					done = doneAt(i)
+				}
 				if d.resolveRecovered(id) {
 					skipped++
+					if doneAt != nil {
+						done(JobResult{ID: id, Recovered: true})
+					}
 				} else {
-					buf = append(buf, entry{id: id, fn: fns[i]})
+					if doneAt != nil {
+						d.waiters.add(id, done)
+					}
+					e := entryAt(i)
+					e.id = id
+					buf = append(buf, e)
 				}
 			}
 			if skipped > 0 {
@@ -404,8 +460,19 @@ func (d *Dispatcher) SubmitBatch(fns []Job) (uint64, error) {
 		}
 		return first, nil
 	}
+	// Register every waiter before any entry is enqueued: a Block-policy
+	// feed can park on a later chunk while earlier chunks already run.
+	if doneAt != nil {
+		for i := 0; i < n; i++ {
+			d.waiters.add(first+uint64(i), doneAt(i))
+		}
+	}
 	for _, c := range plan {
-		c.s.enqueueBatch(first+uint64(c.lo), fns[c.lo:c.hi], failFast)
+		c.s.feed(c.hi-c.lo, func(i int) entry {
+			e := entryAt(c.lo + i)
+			e.id = first + uint64(c.lo+i)
+			return e
+		}, failFast)
 	}
 	return first, nil
 }
@@ -439,24 +506,56 @@ func (d *Dispatcher) plan(n int) []chunk {
 	return out
 }
 
-// Flush blocks until every job submitted so far has been performed — i.e.
-// all shard queues and in-flight rounds, including carried residue, have
-// drained. Jobs submitted concurrently with Flush may or may not be
-// waited for.
-func (d *Dispatcher) Flush() {
+// Flush blocks until every job submitted so far has resolved — performed,
+// expired, or recovered; all shard queues and in-flight rounds, carried
+// residue included, have drained. Jobs submitted concurrently with Flush
+// may or may not be waited for.
+func (d *Dispatcher) Flush() { _ = d.FlushContext(context.Background()) }
+
+// FlushContext is Flush with a deadline: it returns nil once every job
+// submitted so far has resolved, or ctx.Err() when ctx is cancelled or
+// expires first (the dispatcher keeps draining either way).
+func (d *Dispatcher) FlushContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		// Wake the cond loop when ctx fires; Broadcast under d.mu pairs
+		// with the Wait below, so the wakeup cannot be lost.
+		stop := context.AfterFunc(ctx, func() {
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+		defer stop()
+	}
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	for d.performed.Load() < d.submitted.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		d.cond.Wait()
 	}
-	d.mu.Unlock()
+	return nil
 }
 
 // Close drains all pending jobs, stops the shard loops and releases the
 // worker pools; durable backends are synced and closed. Subsequent
-// Submits fail with ErrClosed; Close is idempotent.
+// Submits fail with ErrClosed, and Block-policy submitters parked on full
+// queues are released with ErrClosed (their job ids unconsumed) instead
+// of being left to hang. Close is idempotent.
 func (d *Dispatcher) Close() error {
 	if d.closed.Swap(true) {
 		return nil
+	}
+	// Release submitters parked at admission (reserveWait): they observe
+	// closed under the shard lock and return ErrClosed without having
+	// consumed an id.
+	for _, s := range d.shards {
+		s.mu.Lock()
+		s.notFull.Broadcast()
+		s.mu.Unlock()
 	}
 	// Wait out in-flight submitters: anything that passed its closed-check
 	// finishes enqueueing before the shards are told to stop, so it drains.
@@ -562,6 +661,11 @@ type ShardStats struct {
 	// Steps and Work aggregate the paper's cost measures over all rounds.
 	Steps uint64
 	Work  uint64
+	// Expired counts jobs whose deadline passed before their round was
+	// assembled: they were removed at round-assembly time, never ran, and
+	// resolved with Expired set (included in the dispatcher's Performed
+	// total for conservation, like Recovered).
+	Expired uint64
 	// Stolen counts the jobs this shard claimed from sibling queues while
 	// idle (work-stealing); they were performed — and, when durable,
 	// journaled — by this shard under its own backend and lease.
@@ -593,6 +697,10 @@ type Stats struct {
 	Performed uint64
 	Pending   uint64
 	Recovered uint64
+	// Expired counts jobs that resolved by deadline expiry at
+	// round-assembly time: the payload never ran. Like Recovered, they
+	// are included in Performed so Submitted = Performed + Pending.
+	Expired uint64
 	// Rounds, Residue, Duplicates, Crashes, Steps and Work sum the
 	// per-shard counters.
 	Rounds     uint64
@@ -640,6 +748,7 @@ func (d *Dispatcher) Stats() Stats {
 		st.Shards[i] = s.stats
 		st.Shards[i].QueueDepth = s.q.len()
 		s.mu.Unlock()
+		st.Expired += st.Shards[i].Expired
 		st.Rounds += st.Shards[i].Rounds
 		st.Residue += st.Shards[i].Residue
 		st.Duplicates += st.Shards[i].Duplicates

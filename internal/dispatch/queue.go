@@ -1,9 +1,24 @@
 package dispatch
 
-// entry is one queued job: its dispatcher-wide id and its payload.
+import (
+	"context"
+	"sort"
+)
+
+// entry is one queued job: its dispatcher-wide id, its payload (exactly
+// one of fn0/fn is set — fn0 for the v1 func() paths, fn for v2 Task
+// payloads), and its scheduling descriptor. dl is the deadline as Unix
+// nanoseconds (0 = none). err is written by the worker that performs the
+// job (the payload's returned error) and read by finishRound after the
+// round joins; a requeued (unperformed) entry never ran, so its err is
+// always nil.
 type entry struct {
-	id uint64
-	fn Job
+	id  uint64
+	fn0 Job
+	fn  func(context.Context) error
+	dl  int64
+	pri Priority
+	err error
 }
 
 // minRingCap is the smallest backing array the ring keeps once it has
@@ -28,6 +43,19 @@ type ring struct {
 	// only once low reaches the current capacity, so the O(n) copy is
 	// amortized O(1) per operation and a brief dip never thrashes.
 	low int
+	// minDL is a conservative lower bound on the earliest deadline among
+	// the ring's entries (0 = none known). It is tightened on push and
+	// recomputed exactly by extractDue; pops leave it stale-low, which at
+	// worst triggers one extra (empty) extraction sweep that recomputes
+	// it — never a missed deadline.
+	minDL int64
+}
+
+// noteDeadline folds a pushed entry's deadline into the bound.
+func (r *ring) noteDeadline(dl int64) {
+	if dl != 0 && (r.minDL == 0 || dl < r.minDL) {
+		r.minDL = dl
+	}
 }
 
 func (r *ring) len() int { return r.n }
@@ -71,6 +99,7 @@ func (r *ring) pushBack(e entry) {
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = e
 	r.n++
+	r.noteDeadline(e.dl)
 	if r.n*4 >= len(r.buf) {
 		r.low = 0
 	}
@@ -83,6 +112,7 @@ func (r *ring) pushFront(e entry) {
 	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
 	r.buf[r.head] = e
 	r.n++
+	r.noteDeadline(e.dl)
 	if r.n*4 >= len(r.buf) {
 		r.low = 0
 	}
@@ -93,8 +123,38 @@ func (r *ring) popFront() entry {
 	r.buf[r.head] = entry{}
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
+	if r.n == 0 {
+		r.minDL = 0
+	}
 	r.maybeShrink()
 	return e
+}
+
+// extractDue removes every entry whose deadline is non-zero and ≤ cutoff,
+// appending them to dst (in queue order) and compacting the survivors in
+// place. It recomputes minDL exactly, so a sweep that extracts nothing
+// still repairs a stale bound.
+func (r *ring) extractDue(cutoff int64, dst []entry) []entry {
+	c := len(r.buf)
+	kept, min := 0, int64(0)
+	for i := 0; i < r.n; i++ {
+		idx := (r.head + i) % c
+		e := r.buf[idx]
+		if e.dl != 0 && e.dl <= cutoff {
+			dst = append(dst, e)
+			continue
+		}
+		if e.dl != 0 && (min == 0 || e.dl < min) {
+			min = e.dl
+		}
+		r.buf[(r.head+kept)%c] = e
+		kept++
+	}
+	for i := kept; i < r.n; i++ {
+		r.buf[(r.head+i)%c] = entry{}
+	}
+	r.n, r.minDL = kept, min
+	return dst
 }
 
 // stealBack removes the last len(dst) entries — the youngest jobs — into
@@ -109,5 +169,124 @@ func (r *ring) stealBack(dst []entry) {
 		r.buf[idx] = entry{}
 	}
 	r.n -= k
+	if r.n == 0 {
+		r.minDL = 0
+	}
 	r.maybeShrink()
+}
+
+// numRings is the number of priority classes (High, Normal, Low).
+const numRings = 3
+
+// pqueue is a shard's pending-job queue: one ring per priority class,
+// drained strictly in priority order (High before Normal before Low,
+// FIFO within a class) with deadline-ordered promotion across classes
+// (extractDue). Residue re-enters at the FRONT of its own class's ring,
+// so an old job keeps its place in line among its peers but never jumps
+// a class; work-stealing takes from the BACK of the LOWEST non-empty
+// ring, so a thief relieves the victim of the work it would get to last.
+type pqueue struct {
+	rings [numRings]ring
+	size  int
+}
+
+// ringIndex maps a priority to its drain position: High first.
+func ringIndex(p Priority) int {
+	switch p {
+	case High:
+		return 0
+	case Low:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (q *pqueue) len() int { return q.size }
+
+// capCells reports the total backing-array cells across the rings (for
+// the backpressure memory-bound assertions).
+func (q *pqueue) capCells() int {
+	c := 0
+	for i := range q.rings {
+		c += len(q.rings[i].buf)
+	}
+	return c
+}
+
+func (q *pqueue) pushBack(e entry) {
+	q.rings[ringIndex(e.pri)].pushBack(e)
+	q.size++
+}
+
+func (q *pqueue) pushFront(e entry) {
+	q.rings[ringIndex(e.pri)].pushFront(e)
+	q.size++
+}
+
+// popFront removes the head of the highest-priority non-empty ring. The
+// caller must ensure len() > 0.
+func (q *pqueue) popFront() entry {
+	for i := range q.rings {
+		if q.rings[i].n > 0 {
+			q.size--
+			return q.rings[i].popFront()
+		}
+	}
+	panic("dispatch: popFront on empty pqueue")
+}
+
+// minDeadline is the earliest (conservative) deadline bound across the
+// rings, 0 when no queued entry carries one.
+func (q *pqueue) minDeadline() int64 {
+	var min int64
+	for i := range q.rings {
+		if dl := q.rings[i].minDL; dl != 0 && (min == 0 || dl < min) {
+			min = dl
+		}
+	}
+	return min
+}
+
+// extractDue removes every queued entry with a deadline at or before
+// cutoff — regardless of priority class — appending them to dst in
+// DEADLINE order (ties keep priority-then-FIFO order). Rings whose
+// deadline bound is beyond the cutoff are skipped without a scan.
+func (q *pqueue) extractDue(cutoff int64, dst []entry) []entry {
+	before := len(dst)
+	for i := range q.rings {
+		r := &q.rings[i]
+		if r.minDL == 0 || r.minDL > cutoff {
+			continue
+		}
+		dst = r.extractDue(cutoff, dst)
+	}
+	q.size -= len(dst) - before
+	due := dst[before:]
+	sort.SliceStable(due, func(a, b int) bool { return due[a].dl < due[b].dl })
+	return dst
+}
+
+// lowest returns the occupancy of the lowest-priority non-empty ring.
+func (q *pqueue) lowest() int {
+	for i := numRings - 1; i >= 0; i-- {
+		if n := q.rings[i].n; n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// stealBack removes the last len(dst) entries of the lowest-priority
+// non-empty ring into dst, preserving their relative order. The caller
+// must ensure len(dst) ≤ lowest(). Stolen entries keep their priority
+// and deadline — they are re-queued into the same class on the thief.
+func (q *pqueue) stealBack(dst []entry) {
+	for i := numRings - 1; i >= 0; i-- {
+		if q.rings[i].n > 0 {
+			q.rings[i].stealBack(dst)
+			q.size -= len(dst)
+			return
+		}
+	}
 }

@@ -141,3 +141,107 @@ func TestRingStealBack(t *testing.T) {
 		}
 	}
 }
+
+// TestPQueuePriorityOrder: popFront drains High before Normal before
+// Low, FIFO within a class, and pushFront re-enters at the front of the
+// entry's OWN class.
+func TestPQueuePriorityOrder(t *testing.T) {
+	var q pqueue
+	q.pushBack(entry{id: 1, pri: Low})
+	q.pushBack(entry{id: 2, pri: Normal})
+	q.pushBack(entry{id: 3, pri: High})
+	q.pushBack(entry{id: 4, pri: Low})
+	q.pushBack(entry{id: 5, pri: High})
+	q.pushBack(entry{id: 6, pri: Normal})
+	// Residue for the Normal class: jumps its class's line, not Low's.
+	q.pushFront(entry{id: 7, pri: Normal})
+	want := []uint64{3, 5, 7, 2, 6, 1, 4}
+	if q.len() != len(want) {
+		t.Fatalf("len = %d, want %d", q.len(), len(want))
+	}
+	for i, w := range want {
+		if got := q.popFront().id; got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after drain", q.len())
+	}
+}
+
+// TestPQueueExtractDue: extraction crosses priority classes, returns
+// entries in deadline order, leaves the rest in place, and repairs the
+// deadline bound.
+func TestPQueueExtractDue(t *testing.T) {
+	var q pqueue
+	q.pushBack(entry{id: 1, pri: Low, dl: 50})
+	q.pushBack(entry{id: 2, pri: High})
+	q.pushBack(entry{id: 3, pri: Normal, dl: 10})
+	q.pushBack(entry{id: 4, pri: Normal, dl: 999})
+	q.pushBack(entry{id: 5, pri: Low, dl: 30})
+	q.pushBack(entry{id: 6, pri: Normal})
+	if md := q.minDeadline(); md != 10 {
+		t.Fatalf("minDeadline = %d, want 10", md)
+	}
+	due := q.extractDue(100, nil)
+	var ids []uint64
+	for _, e := range due {
+		ids = append(ids, e.id)
+	}
+	if len(ids) != 3 || ids[0] != 3 || ids[1] != 5 || ids[2] != 1 {
+		t.Fatalf("due ids = %v, want [3 5 1] (deadline order)", ids)
+	}
+	if q.len() != 3 {
+		t.Fatalf("len = %d after extraction, want 3", q.len())
+	}
+	if md := q.minDeadline(); md != 999 {
+		t.Fatalf("minDeadline after extraction = %d, want 999", md)
+	}
+	// Survivors drain in priority order, dated or not.
+	for i, w := range []uint64{2, 4, 6} {
+		if got := q.popFront().id; got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	// An empty sweep still succeeds.
+	if due := q.extractDue(1_000_000, nil); len(due) != 0 {
+		t.Fatalf("extractDue on empty queue returned %d entries", len(due))
+	}
+}
+
+// TestPQueueStealLowest: thieves take from the back of the LOWEST
+// non-empty ring, so a victim's high-priority work is never migrated
+// while lower-class work exists.
+func TestPQueueStealLowest(t *testing.T) {
+	var q pqueue
+	for i := 1; i <= 4; i++ {
+		q.pushBack(entry{id: uint64(i), pri: High})
+	}
+	for i := 5; i <= 8; i++ {
+		q.pushBack(entry{id: uint64(i), pri: Low})
+	}
+	if got := q.lowest(); got != 4 {
+		t.Fatalf("lowest = %d, want 4", got)
+	}
+	buf := make([]entry, 2)
+	q.stealBack(buf)
+	if buf[0].id != 7 || buf[1].id != 8 {
+		t.Fatalf("stole ids %d,%d, want 7,8 (back of the Low ring)", buf[0].id, buf[1].id)
+	}
+	if buf[0].pri != Low {
+		t.Fatalf("stolen entry lost its priority: %v", buf[0].pri)
+	}
+	if q.len() != 6 {
+		t.Fatalf("len = %d after steal, want 6", q.len())
+	}
+	// With Low emptied, the Normal/High work becomes stealable — but only
+	// ever the lowest class present.
+	q.stealBack(buf[:1])
+	q.stealBack(buf[1:])
+	if buf[0].id != 6 || buf[1].id != 5 {
+		t.Fatalf("follow-up steals got %d,%d, want 6,5", buf[0].id, buf[1].id)
+	}
+	if got := q.lowest(); got != 4 {
+		t.Fatalf("lowest after draining Low = %d, want 4 (the High ring)", got)
+	}
+}

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -45,8 +46,8 @@ type shard struct {
 	mu        sync.Mutex
 	cond      *sync.Cond // queue became non-empty (or shard closed)
 	notFull   *sync.Cond // queue space freed, for Block-policy submitters
-	q         ring
-	reserved  int // slots reserved but not yet enqueued (FailFast, steals)
+	q         pqueue
+	reserved  int // slots reserved but not yet enqueued (FailFast, Block, steals)
 	inflight  int // jobs of the round in flight, still holding their slots
 	closed    bool
 	abandoned bool
@@ -69,8 +70,10 @@ type shard struct {
 	ewmaPerJob float64
 	lastTaken  int
 
-	stealBuf []entry  // scratch for work-stealing transfers
-	doneIDs  []uint64 // scratch: ids performed this round, for waiter resolution
+	stealBuf []entry     // scratch for work-stealing transfers
+	doneRes  []JobResult // scratch: results of this round, for waiter resolution
+	dueBuf   []entry     // scratch: deadline-due entries pulled at round assembly
+	expired  []JobResult // scratch: expired-job results, resolved outside the lock
 }
 
 // newShard builds one shard. With a durable backend it also performs
@@ -118,16 +121,26 @@ func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
 
 // exec is the round payload: local job ids map to batch slots; padding
 // slots carry no payload. Durable shards journal the job's durable id
-// before running it (record-then-do; see durable.go).
+// before running it (record-then-do; see durable.go). v2 payloads get a
+// context carrying the Task's deadline and may return an error, recorded
+// in the entry for finishRound to deliver; v1 payloads run bare.
 func (s *shard) exec(worker, local int) {
 	e := &s.batch[local-1]
-	if e.fn == nil {
-		return
-	}
-	if s.durable {
+	if s.durable && (e.fn0 != nil || e.fn != nil) {
 		s.journal(worker, e.id)
 	}
-	e.fn()
+	switch {
+	case e.fn0 != nil:
+		e.fn0()
+	case e.fn != nil:
+		ctx := context.Background()
+		if e.dl != 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, e.dl))
+			defer cancel()
+		}
+		e.err = e.fn(ctx)
+	}
 }
 
 // space reports the free queue slots; unbounded queues are always open.
@@ -169,6 +182,58 @@ func (s *shard) waitSpace() {
 		s.notFull.Wait()
 	}
 	s.stats.SubmitBlockedNanos += uint64(time.Since(t0))
+}
+
+// reserveWait claims one queue slot for a Block-policy submission,
+// parking until space frees; the blocked time is folded into
+// SubmitBlockedNanos. The park is ABORTABLE because it happens at
+// admission, before any job id is consumed: a cancelled or expired ctx
+// returns its error, and a concurrent Close returns ErrClosed (Close
+// broadcasts notFull after flipping closed, and both checks run under
+// s.mu, so the wakeup cannot be lost) — in both cases the submission
+// burns nothing. An abandoned shard grants the reservation: the dead
+// queue swallows the entry, like memory of a killed process.
+func (s *shard) reserveWait(ctx context.Context) error {
+	s.mu.Lock()
+	if s.space() > 0 || s.abandoned {
+		s.reserved++
+		s.mu.Unlock()
+		return nil
+	}
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.notFull.Broadcast()
+			s.mu.Unlock()
+		})
+	}
+	// The loop may be parked waiting for work that is already queued;
+	// make sure it sees it before we park on the opposite condition.
+	s.cond.Signal()
+	t0 := time.Now()
+	var err error
+	for {
+		if s.d.closed.Load() {
+			err = ErrClosed
+			break
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		if s.space() > 0 || s.abandoned {
+			s.reserved++
+			break
+		}
+		s.notFull.Wait()
+	}
+	s.stats.SubmitBlockedNanos += uint64(time.Since(t0))
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	return err
 }
 
 // tryReserve claims k queue slots for a FailFast submission without
@@ -227,13 +292,7 @@ func (s *shard) enqueueOne(e entry, reserved bool) {
 	s.feed(1, func(int) entry { return e }, reserved)
 }
 
-// enqueueBatch appends the contiguous id block [firstID, firstID+len(fns)).
-func (s *shard) enqueueBatch(firstID uint64, fns []Job, reserved bool) {
-	s.feed(len(fns), func(i int) entry { return entry{id: firstID + uint64(i), fn: fns[i]} }, reserved)
-}
-
-// enqueueEntries is enqueueBatch for pre-built entries (the recovery
-// filter path).
+// enqueueEntries appends pre-built entries (the recovery filter path).
 func (s *shard) enqueueEntries(es []entry, reserved bool) {
 	s.feed(len(es), func(i int) entry { return es[i] }, reserved)
 }
@@ -292,9 +351,9 @@ func (s *shard) loop() {
 			panic("dispatch: " + err.Error())
 		}
 		s.observeRound(n, k, time.Since(t0))
-		performed, doneIDs := s.finishRound(n, res)
-		if len(doneIDs) > 0 {
-			s.d.waiters.resolveAll(doneIDs)
+		performed, doneRes := s.finishRound(n, res)
+		if len(doneRes) > 0 {
+			s.d.waiters.resolveResults(doneRes)
 		}
 		s.d.jobsDone(performed)
 	}
@@ -338,55 +397,131 @@ func (s *shard) observeRound(n, k int, dur time.Duration) {
 	}
 }
 
-// takeBatch blocks until jobs are pending (or the shard is closed and
-// drained), then moves up to roundLimit of them into the batch buffer.
-// Before parking on an empty queue it tries to steal a slice of the
-// deepest sibling queue. It returns the number of real jobs taken; 0
-// means exit.
-func (s *shard) takeBatch() int {
-	s.mu.Lock()
-	for s.q.len() == 0 && !s.closed && !s.abandoned {
-		// Idle: claim work from the deepest sibling before parking.
-		s.mu.Unlock()
-		stole := s.stealWork()
-		s.mu.Lock()
-		if stole > 0 || s.q.len() > 0 || s.closed || s.abandoned {
-			continue
+// promoWindow is the deadline-promotion lookahead at round assembly,
+// derived from the adaptive controller's own estimate: roughly two
+// rounds of work at the observed per-slot cost (floored at the latency
+// target). A queued job due sooner than that cannot afford to wait its
+// FIFO-within-class turn — it is pulled ahead in deadline order — and a
+// job already past its deadline is expired instead of started.
+func (s *shard) promoWindow(limit int) int64 {
+	est := s.target
+	if s.ewmaPerJob > 0 {
+		if e := s.ewmaPerJob * float64(limit); e > est {
+			est = e
 		}
-		s.cond.Wait()
 	}
-	n := s.q.len()
-	if n == 0 || s.abandoned {
-		s.mu.Unlock()
-		return 0
+	if est <= 0 {
+		est = float64(DefaultRoundTarget)
 	}
-	if limit := s.roundLimit(); n > limit {
-		n = limit
-	}
-	for i := 0; i < n; i++ {
-		s.batch[i] = s.q.popFront()
-	}
-	// The popped jobs keep holding their queue slots (inflight) until
-	// finishRound requeues the residue and frees the performed ones;
-	// freeing them here would let submitters refill underneath the round
-	// and push the residue requeue past QueueDepth.
-	s.inflight = n
-	s.mu.Unlock()
-	// Clear the slots the previous round used beyond this batch, so stale
-	// payloads can never be reached through padding ids.
-	for i := n; i < s.lastK; i++ {
-		s.batch[i] = entry{}
-	}
-	s.lastK = n
-	if s.lastK < s.m {
-		s.lastK = s.m
-	}
-	return n
+	return int64(2 * est)
 }
 
-// stealWork claims up to half of the deepest sibling queue for this
-// (idle) shard. Stolen entries keep their dispatcher-wide ids and —
-// because the completion table is dispatcher-wide — their waiters; the
+// takeBatch blocks until jobs are pending (or the shard is closed and
+// drained), then moves up to roundLimit of them into the batch buffer —
+// highest priority class first, FIFO within a class, with deadline-due
+// jobs promoted ahead of everything and already-expired jobs resolved
+// here (never started; see Task.Deadline). Before parking on an empty
+// queue it tries to steal a slice of the deepest sibling queue. It
+// returns the number of real jobs taken; 0 means exit.
+func (s *shard) takeBatch() int {
+	for {
+		s.mu.Lock()
+		for s.q.len() == 0 && !s.closed && !s.abandoned {
+			// Idle: claim work from the deepest sibling before parking.
+			s.mu.Unlock()
+			stole := s.stealWork()
+			s.mu.Lock()
+			if stole > 0 || s.q.len() > 0 || s.closed || s.abandoned {
+				continue
+			}
+			s.cond.Wait()
+		}
+		if s.q.len() == 0 || s.abandoned {
+			s.mu.Unlock()
+			return 0
+		}
+		limit := s.roundLimit()
+		now := time.Now().UnixNano()
+		n := 0
+		s.expired = s.expired[:0]
+		// Deadline pass: pull everything due within the promotion window
+		// out of the rings (in deadline order). Entries already past
+		// their deadline expire — removed from the queue, never started —
+		// and the rest lead the batch. Overflow beyond the round limit
+		// returns to the front of its class, still ahead of its peers.
+		if md := s.q.minDeadline(); md != 0 && md <= now+s.promoWindow(limit) {
+			s.dueBuf = s.q.extractDue(now+s.promoWindow(limit), s.dueBuf[:0])
+			overflow := 0
+			for _, e := range s.dueBuf {
+				switch {
+				case e.dl <= now:
+					s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+				case n < limit:
+					s.batch[n] = e
+					n++
+				default:
+					s.dueBuf[overflow] = e
+					overflow++
+				}
+			}
+			for i := overflow - 1; i >= 0; i-- { // reversed: keeps deadline order at the front
+				s.q.pushFront(s.dueBuf[i])
+			}
+			for i := range s.dueBuf {
+				s.dueBuf[i] = entry{} // don't pin payloads past the transfer
+			}
+		}
+		// Priority pass: drain High, then Normal, then Low.
+		for n < limit && s.q.len() > 0 {
+			e := s.q.popFront()
+			if e.dl != 0 && e.dl <= now {
+				s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+				continue
+			}
+			s.batch[n] = e
+			n++
+		}
+		nExp := len(s.expired)
+		if nExp > 0 {
+			s.stats.Expired += uint64(nExp)
+			if s.depth > 0 {
+				s.notFull.Broadcast() // expired jobs freed their queue slots
+			}
+		}
+		// The popped jobs keep holding their queue slots (inflight) until
+		// finishRound requeues the residue and frees the performed ones;
+		// freeing them here would let submitters refill underneath the
+		// round and push the residue requeue past QueueDepth.
+		s.inflight = n
+		s.mu.Unlock()
+		if nExp > 0 {
+			// Each expired job resolves exactly once, outside the lock,
+			// and counts toward Flush like any other resolution.
+			s.d.waiters.resolveResults(s.expired)
+			s.d.jobsDone(nExp)
+		}
+		if n == 0 {
+			continue // everything due had expired; wait for more work
+		}
+		// Clear the slots the previous round used beyond this batch, so
+		// stale payloads can never be reached through padding ids.
+		for i := n; i < s.lastK; i++ {
+			s.batch[i] = entry{}
+		}
+		s.lastK = n
+		if s.lastK < s.m {
+			s.lastK = s.m
+		}
+		return n
+	}
+}
+
+// stealWork claims a slice of the deepest sibling queue for this (idle)
+// shard — from the BACK of the victim's LOWEST non-empty priority ring:
+// the work the victim would get to last, so a steal never delays the
+// victim's own high-priority jobs. Stolen entries keep their ids,
+// priorities and deadlines (they re-queue into the same class here), and
+// — because the completion table is dispatcher-wide — their waiters; the
 // thief journals whatever it performs under its OWN backend and lease,
 // and the recovery scan unions all shards' journals, so at-most-once and
 // fencing are untouched by migration. The take is capped at MaxBatch and
@@ -432,7 +567,13 @@ func (s *shard) stealWork() int {
 		}
 	}
 	victim.mu.Lock()
-	k := victim.q.len() / 2 // re-read under the lock; the scan was racy
+	// Re-read under the lock (the scan was racy). Take the victim's whole
+	// lowest non-empty ring when it has higher-priority work of its own;
+	// when that ring IS all its work, take half, leaving it something.
+	k := victim.q.lowest()
+	if k == victim.q.len() {
+		k /= 2
+	}
 	if k > max {
 		k = max
 	}
@@ -484,11 +625,12 @@ func (s *shard) crashVector(round int) []uint64 {
 	return nil
 }
 
-// finishRound requeues the real residue at the front of the deque and
-// folds the round into the shard stats. It returns the number of real
-// jobs performed this round and — when any async waiter is registered —
-// their ids, for resolution outside the lock.
-func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []uint64) {
+// finishRound requeues the real residue at the front of its priority
+// ring and folds the round into the shard stats. It returns the number
+// of real jobs performed this round and — when any async waiter is
+// registered — their JobResults (payload errors included), for
+// resolution outside the lock.
+func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []JobResult) {
 	collect := s.d.waiters.active()
 	s.mu.Lock()
 	requeued := 0
@@ -498,20 +640,21 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []uint64) {
 			requeued++
 		}
 	}
-	var doneIDs []uint64
+	var doneRes []JobResult
 	if collect && requeued < n {
 		// The performed slots are 1..n minus the (ascending) unperformed
 		// list; walk the two in lockstep.
-		s.doneIDs = s.doneIDs[:0]
+		s.doneRes = s.doneRes[:0]
 		ui := 0
 		for local := 1; local <= n; local++ {
 			if ui < len(res.Unperformed) && res.Unperformed[ui] == local {
 				ui++
 				continue
 			}
-			s.doneIDs = append(s.doneIDs, s.batch[local-1].id)
+			e := &s.batch[local-1]
+			s.doneRes = append(s.doneRes, JobResult{ID: e.id, Err: e.err})
 		}
-		doneIDs = s.doneIDs
+		doneRes = s.doneRes
 	}
 	// The round's slots are resolved: residue went back to the queue,
 	// the rest are free for parked submitters.
@@ -531,5 +674,5 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []uint64) {
 	s.stats.LastPerformed = performed
 	s.stats.EffHist[effBucket(performed, n)]++
 	s.mu.Unlock()
-	return performed, doneIDs
+	return performed, doneRes
 }

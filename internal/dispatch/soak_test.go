@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"strconv"
@@ -77,8 +78,10 @@ func TestDispatcherRandomSoak(t *testing.T) {
 }
 
 // soakOnce drives one randomized dispatcher shape with 4 concurrent
-// submitters and verifies the exactly-once and exactly-one-resolution
-// contracts.
+// submitters — mixing every v1 path plus v2 Do across all three
+// priorities and random deadlines — and verifies the exactly-once and
+// exactly-one-resolution contracts: a job either ran exactly once, or
+// (deadline jobs only) expired exactly once without ever running.
 func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
 	d, err := New(cfg)
 	if err != nil {
@@ -89,6 +92,9 @@ func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
 	eo := newExactlyOnce(jobs)
 	resolutions := make([]atomic.Int32, jobs)
 	isAsync := make([]atomic.Bool, jobs)
+	hasDeadline := make([]atomic.Bool, jobs)
+	expired := make([]atomic.Bool, jobs)
+	priorities := [...]Priority{High, Normal, Low}
 
 	// Live invariant sampler: a bounded queue must never be observed
 	// past QueueDepth, crash-injected residue and stealing included.
@@ -128,7 +134,44 @@ func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
 				hi = jobs
 			}
 			for i := lo; i < hi; {
-				switch rng.Intn(4) {
+				switch rng.Intn(6) {
+				case 4: // v2 Do: random priority, no deadline
+					idx := i
+					isAsync[idx].Store(true)
+					fn := eo.job(idx)
+					if _, err := d.Do(context.Background(), Task{
+						Fn:       func(context.Context) error { fn(); return nil },
+						Priority: priorities[rng.Intn(len(priorities))],
+						Callback: func(JobResult) { resolutions[idx].Add(1) },
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					i++
+				case 5: // v2 Do: random priority AND a tight random deadline
+					idx := i
+					isAsync[idx].Store(true)
+					hasDeadline[idx].Store(true)
+					fn := eo.job(idx)
+					// Deadlines from 1ms in the past to 3ms out: some expire
+					// at round assembly, some race their round and may go
+					// either way — both outcomes must resolve exactly once.
+					dl := time.Now().Add(time.Duration(rng.Intn(4))*time.Millisecond - time.Millisecond)
+					if _, err := d.Do(context.Background(), Task{
+						Fn:       func(context.Context) error { fn(); return nil },
+						Priority: priorities[rng.Intn(len(priorities))],
+						Deadline: dl,
+						Callback: func(r JobResult) {
+							if r.Expired {
+								expired[idx].Store(true)
+							}
+							resolutions[idx].Add(1)
+						},
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					i++
 				case 0: // plain Submit
 					if _, err := d.Submit(eo.job(i)); err != nil {
 						t.Error(err)
@@ -188,7 +231,22 @@ func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
 	d.Flush()
 	close(stopSampler)
 	samplerWG.Wait()
-	eo.verify(t)
+	// Exactly-once with expiry: a job either ran exactly once, or — only
+	// if it carried a deadline — expired exactly once without running.
+	wantExpired := uint64(0)
+	for i := range eo.counts {
+		c := eo.counts[i].Load()
+		if hasDeadline[i].Load() && expired[i].Load() {
+			wantExpired++
+			if c != 0 {
+				t.Fatalf("soak: job %d resolved Expired but ran %d times", i, c)
+			}
+			continue
+		}
+		if c != 1 {
+			t.Fatalf("soak: job %d ran %d times, want 1", i, c)
+		}
+	}
 
 	st := d.Stats()
 	if st.Duplicates != 0 {
@@ -196,6 +254,9 @@ func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
 	}
 	if st.Performed != uint64(jobs) || st.Pending != 0 {
 		t.Fatalf("soak: performed %d pending %d of %d", st.Performed, st.Pending, jobs)
+	}
+	if st.Expired != wantExpired {
+		t.Fatalf("soak: Stats.Expired = %d, but %d jobs resolved Expired", st.Expired, wantExpired)
 	}
 	if st.Crashes == 0 {
 		t.Fatal("soak: crash plan injected nothing")

@@ -1,0 +1,189 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Priority is a Task's scheduling class. Each shard keeps one ring per
+// class and drains them strictly in priority order: a queued High job is
+// always cut into a round before any queued Normal job, and Normal
+// before Low. Within a class, order is FIFO (residue re-enters at the
+// front of its own class). Strict ordering starves a lower class only
+// while a higher one has work — an idle High ring costs Low nothing.
+type Priority int8
+
+const (
+	// Normal is the default (zero-value) class; all v1 submissions use it.
+	Normal Priority = 0
+	// High jobs jump every queued Normal and Low job.
+	High Priority = 1
+	// Low jobs run only when no High or Normal work is queued — bulk or
+	// best-effort background work.
+	Low Priority = -1
+)
+
+// valid reports whether p is one of the three defined classes.
+func (p Priority) valid() bool { return p == Normal || p == High || p == Low }
+
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Low:
+		return "low"
+	case Normal:
+		return "normal"
+	default:
+		return fmt.Sprintf("Priority(%d)", int8(p))
+	}
+}
+
+// Task is the v2 job descriptor: one payload plus its scheduling
+// contract. It subsumes all four v1 submission paths (see Do).
+type Task struct {
+	// Fn is the payload, invoked at most once from a shard worker. The
+	// context carries the Task's Deadline when one is set (Background
+	// otherwise); the returned error does not affect at-most-once
+	// accounting — the job counts performed either way — and is delivered
+	// verbatim in the JobResult's Err.
+	Fn func(context.Context) error
+	// Deadline, when non-zero, bounds how long the job may wait in the
+	// queue: expiry is decided at round-assembly time, so a job whose
+	// deadline has passed when its shard cuts the next round is NEVER
+	// started and resolves exactly once with Expired set and
+	// Err = context.DeadlineExceeded. A job whose round has already
+	// started always runs and counts as performed (at-most-once is
+	// untouched: expiry can only turn "run once" into "run zero times").
+	// A queued job due within the shard's promotion window is pulled
+	// ahead of its class in deadline order so it gets its chance to run.
+	Deadline time.Time
+	// Priority selects the scheduling class; the zero value is Normal.
+	Priority Priority
+	// Callback, when non-nil, is invoked exactly once with the job's
+	// JobResult, after the Handle's Done channel is filled. It runs on
+	// the performing shard's loop goroutine (keep it fast; do not call
+	// the dispatcher's blocking methods from it) — or synchronously on
+	// the submitting goroutine for journal-recovered jobs.
+	Callback func(JobResult)
+}
+
+// Handle identifies an accepted Task: its dispatcher-wide id and its
+// completion future.
+type Handle struct {
+	// ID is the job's dispatcher-wide id (assigned sequentially from 1).
+	ID uint64
+
+	ch chan JobResult
+}
+
+// Done returns the job's completion future: a 1-buffered channel that
+// receives exactly one JobResult — when the payload has returned (Err
+// carrying its error), when the deadline expired before the round
+// started (Expired set), or immediately for journal-recovered jobs
+// (Recovered set). The channel is never closed.
+func (h Handle) Done() <-chan JobResult { return h.ch }
+
+// ErrNilFn is returned by Do and DoBatch for a Task without a payload.
+var ErrNilFn = errors.New("dispatch: Task.Fn is nil")
+
+// entryOf validates a Task and converts it to its queue entry.
+func entryOf(t Task) (entry, error) {
+	if t.Fn == nil {
+		return entry{}, ErrNilFn
+	}
+	if !t.Priority.valid() {
+		return entry{}, fmt.Errorf("dispatch: unknown Priority(%d)", int8(t.Priority))
+	}
+	var dl int64
+	if !t.Deadline.IsZero() {
+		if dl = t.Deadline.UnixNano(); dl == 0 {
+			// The Unix epoch is a real (long-past) deadline, but its
+			// nanosecond value collides with the no-deadline sentinel;
+			// nudge it so the job still expires.
+			dl = -1
+		}
+	}
+	return entry{fn: t.Fn, dl: dl, pri: t.Priority}, nil
+}
+
+// handleDone builds the single completion waiter for a Task: it fills
+// the future first, then fires the callback.
+func handleDone(ch chan JobResult, cb func(JobResult)) func(JobResult) {
+	return func(r JobResult) {
+		ch <- r
+		if cb != nil {
+			cb(r)
+		}
+	}
+}
+
+// Do submits one Task and returns its Handle. It is the single v2 entry
+// point: Submit is Do with a bare payload, SubmitAsync is Handle.Done,
+// SubmitCallback is Task.Callback, and deadlines/priorities have no v1
+// equivalent. ctx governs ADMISSION: a cancelled or expired ctx releases
+// a Block-policy submitter parked on a full queue — and a concurrent
+// Close releases it with ErrClosed — in both cases without consuming a
+// job id, so id assignment stays dense for deterministic re-submission.
+// Once Do returns nil, the Task is accepted and will resolve exactly
+// once regardless of ctx.
+func (d *Dispatcher) Do(ctx context.Context, t Task) (Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e, err := entryOf(t)
+	if err != nil {
+		return Handle{}, err
+	}
+	ch := make(chan JobResult, 1)
+	id, err := d.do(ctx, e, handleDone(ch, t.Callback))
+	if err != nil {
+		return Handle{}, err
+	}
+	return Handle{ID: id, ch: ch}, nil
+}
+
+// DoBatch submits the Tasks in order and returns one Handle per Task;
+// their ids form a contiguous block. An empty batch returns (nil, nil)
+// without consuming a job id or touching a shard — note the contrast
+// with real ids, which start at 1. Acceptance is all-or-nothing exactly
+// as for SubmitBatch. ctx is checked only BEFORE acceptance (a dead ctx
+// rejects the batch with nothing consumed); unlike Do's abortable
+// single-job admission, an accepted Block-policy batch consumes its ids
+// up front and is fed in un-abortably as rounds free space, and every
+// Handle resolves exactly once regardless of ctx.
+func (d *Dispatcher) DoBatch(ctx context.Context, tasks []Task) ([]Handle, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	entries := make([]entry, len(tasks))
+	for i := range tasks {
+		e, err := entryOf(tasks[i])
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+		entries[i] = e
+	}
+	handles := make([]Handle, len(tasks))
+	dones := make([]func(JobResult), len(tasks))
+	for i := range tasks {
+		ch := make(chan JobResult, 1)
+		handles[i] = Handle{ch: ch}
+		dones[i] = handleDone(ch, tasks[i].Callback)
+	}
+	first, err := d.doBatch(ctx, len(tasks),
+		func(i int) entry { return entries[i] },
+		func(i int) func(JobResult) { return dones[i] })
+	if err != nil {
+		return nil, err
+	}
+	for i := range handles {
+		handles[i].ID = first + uint64(i)
+	}
+	return handles, nil
+}
