@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"atmostonce"
+	"atmostonce/internal/membackend"
 )
 
 // asyncShape is one sweep point of the async latency benchmark: a
@@ -18,6 +19,18 @@ type asyncShape struct {
 	Workers    int `json:"workers"`
 	Batch      int `json:"batch"`
 	QueueDepth int `json:"queue_depth"`
+	// Skewed makes one shard's jobs slow: a single producer submits
+	// sequentially (round-robin placement then maps job parity onto
+	// shard identity for a 2-shard dispatcher) and gives every
+	// even-indexed job a spin payload, so shard 0 backs up in wall time
+	// while shard 1 drains, goes idle and steals. This is the imbalance
+	// the balanced sweeps never create: round-robin placement keeps
+	// queue depths within one job of each other and every shard busy
+	// until end-of-stream drain, so the idle-steal trigger (empty own
+	// queue + a sibling with ≥ 2 pending) has nothing to fire on and
+	// stolen_jobs stays ~0 by construction. The skewed point exists to
+	// exercise and measure stealing.
+	Skewed bool `json:"skewed,omitempty"`
 }
 
 // asyncResult is one measured sweep point: per-job completion latency
@@ -44,10 +57,16 @@ type asyncReport struct {
 	Jobs      int           `json:"jobs"`
 	Producers int           `json:"producers"`
 	Backend   string        `json:"backend"`
+	Meta      benchMeta     `json:"meta"`
 	Results   []asyncResult `json:"results"`
 }
 
 const asyncProducers = 4
+
+// asyncReps is higher than benchReps: the latency percentiles are the
+// headline numbers of this sweep and a tail percentile over one rep is
+// far noisier than a throughput mean, so the median gets more samples.
+const asyncReps = 5
 
 // runAsync benchmarks the async submission pipeline: concurrent
 // producers drive SubmitCallback against a bounded queue (Block policy),
@@ -57,50 +76,117 @@ const asyncProducers = 4
 // pipeline itself: round cutting, adaptive sizing, carry-over, stealing
 // and notification, not user work.
 func runAsync(quick, asJSON bool, backend string) error {
-	jobs := 200_000
-	shapes := []asyncShape{
-		{1, 2, 256, 1024}, {1, 4, 1024, 4096},
-		{2, 4, 1024, 4096}, {4, 4, 1024, 4096},
-		{4, 8, 1024, 8192}, {8, 4, 4096, 8192},
-	}
-	if quick {
-		jobs = 30_000
-		shapes = shapes[:4]
-	}
-
-	backend, cleanup, err := tempMmap(backend)
+	report, err := asyncSweep(quick, backend)
 	if err != nil {
 		return err
-	}
-	defer cleanup()
-
-	report := asyncReport{Mode: mode(quick), Jobs: jobs, Producers: asyncProducers, Backend: backendLabel(backend)}
-	if !asJSON {
-		fmt.Printf("# Async submission pipeline latency (%s mode, %s backend)\n\n", report.Mode, report.Backend)
-		fmt.Printf("%d jobs per shape, %d producers, SubmitPolicy Block; payload = one atomic increment.\n\n", jobs, asyncProducers)
-		fmt.Println("| shards | workers | max batch | queue depth | rounds | stolen | blocked ms | jobs/sec | p50 µs | p99 µs | p999 µs |")
-		fmt.Println("|-------:|--------:|----------:|------------:|-------:|-------:|-----------:|---------:|-------:|-------:|--------:|")
-	}
-	for i, sh := range shapes {
-		res, err := asyncOnce(sh, jobs, shapeSpec(backend, i))
-		if err != nil {
-			return err
-		}
-		report.Results = append(report.Results, res)
-		if !asJSON {
-			fmt.Printf("| %d | %d | %d | %d | %d | %d | %.1f | %.0f | %.1f | %.1f | %.1f |\n",
-				sh.Shards, sh.Workers, sh.Batch, sh.QueueDepth, res.Rounds, res.StolenJobs,
-				float64(res.SubmitBlockedNanos)/1e6, res.JobsPerSec,
-				res.P50Micros, res.P99Micros, res.P999Micros)
-		}
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)
 	}
+	fmt.Printf("# Async submission pipeline latency (%s mode, %s backend)\n\n", report.Mode, report.Backend)
+	fmt.Printf("%d jobs per shape (median of %d reps after %d warmup jobs), %d producers, SubmitPolicy Block; payload = one atomic increment.\n\n",
+		report.Jobs, asyncReps, benchWarmup, asyncProducers)
+	fmt.Println("| shards | workers | max batch | queue depth | skew | rounds | stolen | blocked ms | jobs/sec | p50 µs | p99 µs | p999 µs |")
+	fmt.Println("|-------:|--------:|----------:|------------:|:----:|-------:|-------:|-----------:|---------:|-------:|-------:|--------:|")
+	for _, res := range report.Results {
+		skew := ""
+		if res.Skewed {
+			skew = "✓"
+		}
+		fmt.Printf("| %d | %d | %d | %d | %s | %d | %d | %.1f | %.0f | %.1f | %.1f | %.1f |\n",
+			res.Shards, res.Workers, res.Batch, res.QueueDepth, skew, res.Rounds, res.StolenJobs,
+			float64(res.SubmitBlockedNanos)/1e6, res.JobsPerSec,
+			res.P50Micros, res.P99Micros, res.P999Micros)
+	}
 	fmt.Println()
 	return nil
+}
+
+// asyncSweep measures every shape and returns the report (shared by
+// -async, -suite and -compare). The final shape is the skewed-producer
+// point: shard 0 is crash-degraded so its siblings actually steal.
+func asyncSweep(quick bool, backend string) (asyncReport, error) {
+	var zero asyncReport
+	jobs := 200_000
+	shapes := []asyncShape{
+		{1, 2, 256, 1024, false}, {1, 4, 1024, 4096, false},
+		{2, 4, 1024, 4096, false}, {4, 4, 1024, 4096, false},
+		{4, 8, 1024, 8192, false}, {8, 4, 4096, 8192, false},
+	}
+	if quick {
+		// Quick mode trims the shape list but keeps a long stream: with
+		// ~8k jobs resident in the bounded queues at the larger shapes, a
+		// short stream makes the p99 a property of a few round bursts (and
+		// of whatever scheduler stall hits the window) rather than of the
+		// pipeline; 100k jobs keeps the resident set under 10% of the
+		// stream and the tail percentiles reproducible.
+		jobs = 100_000
+		shapes = shapes[:4]
+	}
+	shapes = append(shapes, asyncShape{2, 4, 1024, 4096, true})
+
+	backend, cleanup, err := tempMmap(backend)
+	if err != nil {
+		return zero, err
+	}
+	defer cleanup()
+
+	report := asyncReport{Mode: mode(quick), Jobs: jobs, Producers: asyncProducers, Backend: backendLabel(backend), Meta: collectMeta()}
+	for i, sh := range shapes {
+		j := jobs
+		if sh.Skewed {
+			// The skew point demonstrates stealing, not tail latency, and
+			// a 30k stream triggers it far more reliably than a long one:
+			// over a long stream the single producer spends most of its
+			// time parked on shard 0's full queue, the two shards settle
+			// into a lockstep cadence, and shard 1's idle windows (the
+			// steal trigger) mostly vanish. The short stream's larger
+			// drain fraction guarantees a backlogged shard 0 next to an
+			// idle shard 1.
+			j = 30_000
+		}
+		res, err := asyncMedian(sh, j, shapeSpec(backend, i))
+		if err != nil {
+			return zero, err
+		}
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+// asyncMedian runs asyncOnce asyncReps times — each rep on a fresh
+// dispatcher (fresh register files for durable backends) — and returns
+// the rep with the median jobs/sec, except that each latency percentile
+// is replaced by its own median across the reps: a rep with typical
+// throughput can still catch one bad end-of-stream drain tail, and a
+// committed trajectory point should report the typical tail, not the
+// tail of whichever rep happened to have median throughput.
+func asyncMedian(sh asyncShape, jobs int, backend string) (asyncResult, error) {
+	runs := make([]asyncResult, 0, asyncReps)
+	for r := 0; r < asyncReps; r++ {
+		collectGarbage()
+		res, err := asyncOnce(sh, jobs, membackend.WithSuffix(backend, fmt.Sprintf(".rep%d", r)))
+		if err != nil {
+			return asyncResult{}, err
+		}
+		runs = append(runs, res)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].JobsPerSec < runs[j].JobsPerSec })
+	med := runs[len(runs)/2]
+	medianOf := func(field func(asyncResult) float64) float64 {
+		vs := make([]float64, len(runs))
+		for i, r := range runs {
+			vs[i] = field(r)
+		}
+		sort.Float64s(vs)
+		return vs[len(vs)/2]
+	}
+	med.P50Micros = medianOf(func(r asyncResult) float64 { return r.P50Micros })
+	med.P99Micros = medianOf(func(r asyncResult) float64 { return r.P99Micros })
+	med.P999Micros = medianOf(func(r asyncResult) float64 { return r.P999Micros })
+	return med, nil
 }
 
 // asyncOnce streams one shape and returns its measured result.
@@ -113,34 +199,65 @@ func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 		QueueDepth:      sh.QueueDepth,
 		SubmitPolicy:    atmostonce.Block,
 		Backend:         backend,
-		MaxJobs:         jobs,
+		// Slack beyond the timed jobs: the warmup stream, plus each
+		// shard's possibly part-consumed leased id block.
+		MaxJobs: jobs + benchWarmup + 64*sh.Shards,
 	})
 	if err != nil {
 		return zero, err
 	}
 	defer d.Close()
 
+	// Warm pools, rings and the round controller outside the timed window.
+	noop := func() {}
+	for i := 0; i < benchWarmup; i++ {
+		if _, err := d.Submit(noop); err != nil {
+			return zero, err
+		}
+	}
+	d.Flush()
+
+	// The skewed point uses ONE sequential producer so single-submit
+	// round-robin placement is deterministic: with 2 shards, job parity
+	// IS shard identity, and the spin payload on every even job lands
+	// all the slow work on shard 0 (the warmup stream is even-length,
+	// preserving parity). Shard 1 then outruns its feed, goes idle and
+	// steals from shard 0's backlog — measurable on any core count,
+	// unlike crash-degrading shard 0's workers, which costs nothing in
+	// wall time on a single-core runner.
+	producers := asyncProducers
+	spin := func() {
+		for t0 := time.Now(); time.Since(t0) < 20*time.Microsecond; {
+		}
+	}
+	if sh.Skewed {
+		producers = 1
+	}
+
 	// One exact latency cell per job; producers and callbacks write
 	// disjoint indices, so no synchronization beyond the WaitGroup.
 	lat := make([]int64, jobs)
-	noop := func() {}
-	per := jobs / asyncProducers
+	per := jobs / producers
 	var wg sync.WaitGroup
 	var submitErr error
 	var errOnce sync.Once
 	start := time.Now()
-	for p := 0; p < asyncProducers; p++ {
+	for p := 0; p < producers; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			lo, hi := p*per, (p+1)*per
-			if p == asyncProducers-1 {
+			if p == producers-1 {
 				hi = jobs
 			}
 			for i := lo; i < hi; i++ {
 				idx := i
+				fn := noop
+				if sh.Skewed && i%2 == 0 {
+					fn = spin
+				}
 				t0 := time.Now()
-				if _, err := d.SubmitCallback(noop, func(atmostonce.JobResult) {
+				if _, err := d.SubmitCallback(fn, func(atmostonce.JobResult) {
 					lat[idx] = int64(time.Since(t0))
 				}); err != nil {
 					errOnce.Do(func() { submitErr = err })
@@ -160,8 +277,8 @@ func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 	if st.Duplicates != 0 {
 		return zero, fmt.Errorf("async: %d duplicate executions", st.Duplicates)
 	}
-	if st.Performed != uint64(jobs) {
-		return zero, fmt.Errorf("async: performed %d of %d jobs", st.Performed, jobs)
+	if st.Performed != uint64(jobs+benchWarmup) {
+		return zero, fmt.Errorf("async: performed %d of %d jobs", st.Performed, jobs+benchWarmup)
 	}
 	for i, l := range lat {
 		if l == 0 {

@@ -15,25 +15,38 @@
 // reports each class's p50/p99 completion latency next to the v1
 // single-ring baseline (the identical stream, all Normal priority),
 // plus the High-p99 speedup.
+// With -suite it runs all three dispatcher sweeps and emits ONE
+// combined JSON document (-pr stamps the PR number) — the schema of the
+// committed BENCH_N.json trajectory files, every report carrying a
+// `meta` block (GOMAXPROCS, NumCPU, go version, git rev, timestamp) so
+// trajectories stay interpretable across machines.
+// With -compare FILE it is the CI perf gate: it re-runs the sweeps and
+// diffs them against a committed BENCH_N.json, exiting nonzero when any
+// matched sweep point's jobs/sec regressed more than -tolerance
+// (default 20%).
 // -backend selects the register backend (atomic, mmap[:PATH],
 // net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
 // cost of durable journaling — local or networked — is measurable;
 // -json emits the sweep as one JSON document for bench trajectories
 // (BENCH_*.json), including each shape's per-round effectiveness
-// histogram (eff_hist).
+// histogram (eff_hist); -cpuprofile writes a pprof CPU profile of the
+// selected run.
 //
 // Usage:
 //
 //	amo-bench [-quick] [-only E3]
-//	amo-bench -throughput [-quick] [-backend mmap] [-json]
+//	amo-bench -throughput [-quick] [-backend mmap] [-json] [-cpuprofile FILE]
 //	amo-bench -async [-quick] [-backend mmap] [-json]
 //	amo-bench -priority [-quick] [-json]
+//	amo-bench -suite [-quick] [-pr N] > BENCH_N.json
+//	amo-bench -compare BENCH_N.json [-quick] [-tolerance 0.2]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,17 +69,39 @@ func run(args []string) error {
 	priority := fs.Bool("priority", false, "benchmark priority scheduling: per-class p50/p99 latency for a High burst behind a Low backlog, vs the v1 single-ring baseline")
 	backend := fs.String("backend", "atomic", "register backend for -throughput/-async: atomic, mmap[:PATH] or any membackend spec")
 	asJSON := fs.Bool("json", false, "emit the -throughput/-async/-priority sweep as JSON instead of Markdown")
+	suite := fs.Bool("suite", false, "run all three dispatcher sweeps and emit one combined JSON document (the BENCH_N.json schema)")
+	pr := fs.Int("pr", 0, "PR number stamped into the -suite document")
+	compare := fs.String("compare", "", "perf gate: re-run the sweeps and diff against this committed BENCH_N.json, failing on regression")
+	tolerance := fs.Float64("tolerance", 0.20, "-compare regression tolerance as a fraction (0.20 = fail when a point is >20% slower)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the selected run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	modes := 0
-	for _, on := range []bool{*throughput, *async, *priority} {
+	for _, on := range []bool{*throughput, *async, *priority, *suite, *compare != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-throughput, -async and -priority are mutually exclusive")
+		return fmt.Errorf("-throughput, -async, -priority, -suite and -compare are mutually exclusive")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *suite {
+		return runSuite(*quick, *pr, *backend)
+	}
+	if *compare != "" {
+		return runCompare(*compare, *quick, *tolerance, *backend)
 	}
 	if *throughput {
 		return runThroughput(*quick, *asJSON, *backend)

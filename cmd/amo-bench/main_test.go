@@ -53,6 +53,27 @@ func TestRunPriorityBackendRejected(t *testing.T) {
 	}
 }
 
+func TestRunSuiteCompareExclusive(t *testing.T) {
+	if err := run([]string{"-suite", "-compare", "BENCH_5.json"}); err == nil {
+		t.Fatal("-suite -compare accepted together")
+	}
+	if err := run([]string{"-suite", "-throughput"}); err == nil {
+		t.Fatal("-suite -throughput accepted together")
+	}
+}
+
+func TestRunCompareBadTolerance(t *testing.T) {
+	if err := run([]string{"-compare", "BENCH_5.json", "-tolerance", "1.5"}); err == nil {
+		t.Fatal("out-of-range tolerance accepted")
+	}
+}
+
+func TestRunCompareMissingBaseline(t *testing.T) {
+	if err := run([]string{"-compare", "no-such-file.json"}); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if mode(true) != "quick" || mode(false) != "full" {
 		t.Fatal("mode strings wrong")

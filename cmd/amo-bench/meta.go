@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// benchMeta stamps a bench document with the environment it ran in, so
+// BENCH_N.json trajectories stay interpretable across machines and
+// toolchains: a jobs/sec delta means nothing without knowing whether
+// the core count or compiler changed underneath it.
+type benchMeta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GitRev     string `json:"git_rev"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// collectMeta snapshots the environment. The git revision is best
+// effort: outside a work tree (or without git) it reads "unknown"
+// rather than failing the bench.
+// collectGarbage forces a full collection before a timed rep — the same
+// discipline testing.B applies before each benchmark run. Without it,
+// garbage accumulated by earlier sweeps in the same -suite process gets
+// collected DURING a later sweep's timed window, and the pause lands in
+// that sweep's latency tail (observed: +20-30% on the 2-shard async p99
+// with nothing else changed).
+func collectGarbage() {
+	runtime.GC()
+}
+
+func collectMeta() benchMeta {
+	m := benchMeta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GitRev:     "unknown",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			m.GitRev = rev
+		}
+	}
+	return m
+}

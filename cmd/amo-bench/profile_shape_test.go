@@ -1,0 +1,20 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestProfileAsyncShape is a profiling hook, not a test: set
+// AMO_PROFILE_ASYNC=1 and run with -cpuprofile to profile one async
+// sweep shape in isolation.
+func TestProfileAsyncShape(t *testing.T) {
+	if os.Getenv("AMO_PROFILE_ASYNC") == "" {
+		t.Skip("set AMO_PROFILE_ASYNC=1 to run")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := asyncOnce(asyncShape{Shards: 2, Workers: 4, Batch: 1024, QueueDepth: 4096}, 200_000, "atomic"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// benchDoc is the combined -suite document: the schema of the committed
+// BENCH_N.json trajectory files (one per PR), and the unit the -compare
+// perf gate diffs against.
+type benchDoc struct {
+	PR         int              `json:"pr"`
+	Meta       benchMeta        `json:"meta"`
+	Throughput throughputReport `json:"throughput"`
+	Async      asyncReport      `json:"async"`
+	Priority   priorityReport   `json:"priority"`
+}
+
+// runSuite runs all three sweeps and emits one combined JSON document —
+// exactly what gets committed as BENCH_N.json.
+func runSuite(quick bool, pr int, backend string) error {
+	doc, err := buildSuite(quick, pr, backend)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func buildSuite(quick bool, pr int, backend string) (benchDoc, error) {
+	var zero benchDoc
+	tr, err := throughputSweep(quick, backend)
+	if err != nil {
+		return zero, err
+	}
+	as, err := asyncSweep(quick, backend)
+	if err != nil {
+		return zero, err
+	}
+	pri, err := prioritySweep(quick)
+	if err != nil {
+		return zero, err
+	}
+	return benchDoc{PR: pr, Meta: collectMeta(), Throughput: tr, Async: as, Priority: pri}, nil
+}
+
+// runCompare is the CI perf gate: re-run the sweeps, match each sweep
+// point against the committed baseline document by shape, and fail when
+// any matched point's throughput drops more than tolerance below the
+// baseline. Latency percentiles are printed for context but not gated —
+// on shared CI runners they are too noisy for a hard bound, while
+// jobs/sec over 30k+ jobs (median of reps) is stable enough to catch a
+// real regression. Shapes present on only one side (a new sweep point,
+// or an old retired one) are reported and skipped, so the gate keeps
+// working across baseline generations.
+func runCompare(path string, quick bool, tolerance float64, backend string) error {
+	if tolerance <= 0 || tolerance >= 1 {
+		return fmt.Errorf("-tolerance %v out of range (0, 1)", tolerance)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	cur, err := buildSuite(quick, base.PR, backend)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# Perf gate: current tree vs %s (pr %d, rev %s), tolerance %.0f%%\n\n",
+		path, base.PR, orUnknown(base.Meta.GitRev), tolerance*100)
+	fmt.Println("| sweep point | baseline jobs/s | current jobs/s | delta | verdict |")
+	fmt.Println("|-------------|----------------:|---------------:|------:|---------|")
+	failed := 0
+	check := func(label string, baseJPS, curJPS float64) {
+		delta := curJPS/baseJPS - 1
+		verdict := "ok"
+		if delta < -tolerance {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("| %s | %.0f | %.0f | %+.1f%% | %s |\n", label, baseJPS, curJPS, delta*100, verdict)
+	}
+
+	matchedT := make(map[throughputShape]bool)
+	for _, b := range base.Throughput.Results {
+		found := false
+		for _, c := range cur.Throughput.Results {
+			if c.throughputShape == b.throughputShape {
+				check(fmt.Sprintf("throughput %ds/%dw/%db", b.Shards, b.Workers, b.Batch), b.JobsPerSec, c.JobsPerSec)
+				matchedT[b.throughputShape] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("| throughput %ds/%dw/%db | %.0f | — | — | baseline-only, skipped |\n",
+				b.Shards, b.Workers, b.Batch, b.JobsPerSec)
+		}
+	}
+	for _, c := range cur.Throughput.Results {
+		if !matchedT[c.throughputShape] {
+			fmt.Printf("| throughput %ds/%dw/%db | — | %.0f | — | new point, skipped |\n",
+				c.Shards, c.Workers, c.Batch, c.JobsPerSec)
+		}
+	}
+
+	matchedA := make(map[asyncShape]bool)
+	for _, b := range base.Async.Results {
+		found := false
+		for _, c := range cur.Async.Results {
+			if c.asyncShape == b.asyncShape {
+				check(fmt.Sprintf("async %ds/%dw/%db/q%d%s", b.Shards, b.Workers, b.Batch, b.QueueDepth, skewTag(b.Skewed)),
+					b.JobsPerSec, c.JobsPerSec)
+				fmt.Printf("| ↳ p99 µs (context, not gated) | %.1f | %.1f | %+.1f%% | — |\n",
+					b.P99Micros, c.P99Micros, (c.P99Micros/math.Max(b.P99Micros, 1e-9)-1)*100)
+				matchedA[b.asyncShape] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("| async %ds/%dw/%db/q%d%s | %.0f | — | — | baseline-only, skipped |\n",
+				b.Shards, b.Workers, b.Batch, b.QueueDepth, skewTag(b.Skewed), b.JobsPerSec)
+		}
+	}
+	for _, c := range cur.Async.Results {
+		if !matchedA[c.asyncShape] {
+			fmt.Printf("| async %ds/%dw/%db/q%d%s | — | %.0f | — | new point, skipped |\n",
+				c.Shards, c.Workers, c.Batch, c.QueueDepth, skewTag(c.Skewed), c.JobsPerSec)
+		}
+	}
+
+	fmt.Println()
+	if failed > 0 {
+		return fmt.Errorf("perf gate: %d sweep point(s) regressed more than %.0f%% vs %s", failed, tolerance*100, path)
+	}
+	fmt.Printf("Perf gate passed: no sweep point regressed more than %.0f%%.\n", tolerance*100)
+	return nil
+}
+
+func skewTag(skewed bool) string {
+	if skewed {
+		return "/skew"
+	}
+	return ""
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

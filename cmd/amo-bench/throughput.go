@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -40,8 +41,20 @@ type throughputReport struct {
 	Mode    string             `json:"mode"`
 	Jobs    int                `json:"jobs"`
 	Backend string             `json:"backend"`
+	Meta    benchMeta          `json:"meta"`
 	Results []throughputResult `json:"results"`
 }
+
+// Measurement discipline shared by the throughput and async sweeps:
+// every shape first streams benchWarmup jobs outside the timed window
+// (warming pools, rings, id blocks and the adaptive round controller),
+// then the timed stream runs benchReps times on fresh dispatchers and
+// the median-throughput rep is reported — one scheduler hiccup cannot
+// skew a committed trajectory point.
+const (
+	benchWarmup = 5000
+	benchReps   = 5
+)
 
 // runThroughput streams a fixed job count through the Dispatcher at each
 // shards × workers × batch shape and reports jobs/sec — as a Markdown
@@ -50,6 +63,32 @@ type throughputReport struct {
 // cutting, KKβ coordination, residue carry-over and (with -backend
 // mmap) the durable journal writes.
 func runThroughput(quick, asJSON bool, backend string) error {
+	report, err := throughputSweep(quick, backend)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("# Streaming dispatcher throughput (%s mode, %s backend)\n\n", report.Mode, report.Backend)
+	fmt.Printf("%d jobs per shape (median of %d reps after %d warmup jobs); payload = one atomic increment.\n\n",
+		report.Jobs, benchReps, benchWarmup)
+	fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec |")
+	fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|")
+	for _, res := range report.Results {
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f |\n",
+			res.Shards, res.Workers, res.Batch, res.Rounds, res.Residue, res.Crashes, res.JobsPerSec)
+	}
+	fmt.Println()
+	return nil
+}
+
+// throughputSweep measures every shape and returns the report (shared
+// by -throughput, -suite and -compare).
+func throughputSweep(quick bool, backend string) (throughputReport, error) {
+	var zero throughputReport
 	jobs := 200_000
 	shapes := []throughputShape{
 		{1, 2, 256}, {1, 4, 1024},
@@ -63,43 +102,43 @@ func runThroughput(quick, asJSON bool, backend string) error {
 
 	backend, cleanup, err := tempMmap(backend)
 	if err != nil {
-		return err
+		return zero, err
 	}
 	defer cleanup()
 
-	report := throughputReport{Mode: mode(quick), Jobs: jobs, Backend: backendLabel(backend)}
-	if !asJSON {
-		fmt.Printf("# Streaming dispatcher throughput (%s mode, %s backend)\n\n", report.Mode, report.Backend)
-		fmt.Printf("%d jobs per shape; payload = one atomic increment.\n\n", jobs)
-		fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec |")
-		fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|")
-	}
+	report := throughputReport{Mode: mode(quick), Jobs: jobs, Backend: backendLabel(backend), Meta: collectMeta()}
 	for i, sh := range shapes {
-		st, err := streamOnce(sh, jobs, shapeSpec(backend, i))
+		st, err := streamMedian(sh, jobs, shapeSpec(backend, i))
 		if err != nil {
-			return err
+			return zero, err
 		}
-		res := throughputResult{
+		report.Results = append(report.Results, throughputResult{
 			throughputShape: sh,
 			Rounds:          st.Rounds,
 			Residue:         st.Residue,
 			Crashes:         st.Crashes,
 			EffHist:         append([]uint64(nil), st.EffHist[:]...),
 			JobsPerSec:      st.JobsPerSec,
-		}
-		report.Results = append(report.Results, res)
-		if !asJSON {
-			fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f |\n",
-				sh.Shards, sh.Workers, sh.Batch, res.Rounds, res.Residue, res.Crashes, res.JobsPerSec)
-		}
+		})
 	}
-	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+	return report, nil
+}
+
+// streamMedian runs streamOnce benchReps times — each rep on a fresh
+// dispatcher (fresh register files for durable backends) — and returns
+// the rep with the median jobs/sec.
+func streamMedian(sh throughputShape, jobs int, backend string) (atmostonce.DispatcherStats, error) {
+	runs := make([]atmostonce.DispatcherStats, 0, benchReps)
+	for r := 0; r < benchReps; r++ {
+		collectGarbage()
+		st, err := streamOnce(sh, jobs, membackend.WithSuffix(backend, fmt.Sprintf(".rep%d", r)))
+		if err != nil {
+			return atmostonce.DispatcherStats{}, err
+		}
+		runs = append(runs, st)
 	}
-	fmt.Println()
-	return nil
+	sort.Slice(runs, func(i, j int) bool { return runs[i].JobsPerSec < runs[j].JobsPerSec })
+	return runs[len(runs)/2], nil
 }
 
 // tempMmap rewrites a pathless "mmap" terminal ("mmap", "counting:mmap")
@@ -141,7 +180,9 @@ func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.Dispat
 		WorkersPerShard: sh.Workers,
 		MaxBatch:        sh.Batch,
 		Backend:         backend,
-		MaxJobs:         jobs,
+		// Slack beyond the timed jobs: the warmup stream, plus each
+		// shard's possibly part-consumed leased id block.
+		MaxJobs: jobs + benchWarmup + 64*sh.Shards,
 	})
 	if err != nil {
 		return zero, err
@@ -155,21 +196,31 @@ func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.Dispat
 	for i := range fns {
 		fns[i] = job
 	}
-	start := time.Now()
-	for sent := 0; sent < jobs; sent += chunk {
-		n := chunk
-		if rem := jobs - sent; rem < n {
-			n = rem
+	stream := func(n int) error {
+		for sent := 0; sent < n; sent += chunk {
+			c := chunk
+			if rem := n - sent; rem < c {
+				c = rem
+			}
+			if _, err := d.SubmitBatch(fns[:c]); err != nil {
+				return err
+			}
 		}
-		if _, err := d.SubmitBatch(fns[:n]); err != nil {
-			return zero, err
-		}
+		d.Flush()
+		return nil
 	}
-	d.Flush()
+	// Warm pools, rings and the round controller outside the timed window.
+	if err := stream(benchWarmup); err != nil {
+		return zero, err
+	}
+	start := time.Now()
+	if err := stream(jobs); err != nil {
+		return zero, err
+	}
 	elapsed := time.Since(start)
 
-	if got := count.Load(); got != uint64(jobs) {
-		return zero, fmt.Errorf("throughput: performed %d of %d jobs", got, jobs)
+	if got := count.Load(); got != uint64(jobs+benchWarmup) {
+		return zero, fmt.Errorf("throughput: performed %d of %d jobs", got, jobs+benchWarmup)
 	}
 	st := d.Stats()
 	if st.Duplicates != 0 {

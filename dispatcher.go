@@ -18,7 +18,10 @@ type DispatcherConfig struct {
 	// over; rounds on different shards execute fully in parallel
 	// (default 1).
 	Shards int
-	// WorkersPerShard is m for each shard's worker pool (default 4).
+	// WorkersPerShard is m for each shard's worker pool. The default is
+	// derived from runtime.GOMAXPROCS(0) spread over the shards
+	// (DefaultWorkersPerShard), so a default-config dispatcher matches
+	// the machine instead of oversubscribing it.
 	WorkersPerShard int
 	// Beta is KKβ's termination parameter per shard (0 = WorkersPerShard,
 	// the effectiveness-optimal choice).
@@ -171,6 +174,13 @@ const (
 	Low Priority = dispatch.Low
 )
 
+// DefaultWorkersPerShard is the worker count a dispatcher uses when
+// DispatcherConfig.WorkersPerShard is 0: runtime.GOMAXPROCS(0) divided
+// across the shards (rounded up), clamped to [2, 8]. KKβ needs m ≥ 2,
+// and past 8 workers per shard the register contention outweighs the
+// parallelism.
+func DefaultWorkersPerShard(shards int) int { return dispatch.DefaultWorkers(shards) }
+
 // NewDispatcher starts a dispatcher; Close must be called to release its
 // worker pools.
 func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
@@ -232,7 +242,11 @@ func (d *Dispatcher) DoBatch(ctx context.Context, tasks []Task) ([]Handle, error
 }
 
 // Submit enqueues fn for at-most-once execution and returns its job id.
-// Ids are assigned sequentially from 1. With a bounded queue
+// Ids start at 1 and each shard's id sequence is dense: a shard hands
+// out consecutive ids from cache-line-sized blocks leased off a global
+// cursor, so a fixed submission order always reproduces the same ids
+// (the deterministic re-submission contract) without every Submit
+// contending on one shared counter. With a bounded queue
 // (QueueDepth) and the target shard saturated, Submit blocks until
 // rounds free space (Block) or fails with ErrQueueFull (FailFast).
 //

@@ -30,7 +30,8 @@ type RuntimeOptions struct {
 	// Mem, when non-nil, supplies the register backend instead of a fresh
 	// in-process AtomicMem — e.g. a durable membackend.MmapMem so register
 	// state survives the process. It must hold at least
-	// MemBase + Layout{M, RowLen: Capacity}.Size() cells, and the cells in
+	// MemBase + Layout{M, RowLen: Capacity}.Padded().Size() cells (the
+	// runtime uses the cache-line-padded layout), and the cells in
 	// that window must read zero when the first round starts (a recovering
 	// caller re-zeroes them). Reads and writes must be per-cell atomic and
 	// safe for concurrent use.
@@ -111,11 +112,14 @@ func NewRuntime(o RuntimeOptions) (*Runtime, error) {
 		return nil, fmt.Errorf("%w: capacity=%d m=%d", errValidate, o.Capacity, o.M)
 	}
 	r := &Runtime{
-		m:           o.M,
-		cap:         o.Capacity,
-		jitter:      o.Jitter,
-		seed:        o.Seed,
-		lay:         core.Layout{Base: o.MemBase, M: o.M, RowLen: o.Capacity},
+		m:      o.M,
+		cap:    o.Capacity,
+		jitter: o.Jitter,
+		seed:   o.Seed,
+		// Padded: each worker's write-hot next cell gets its own cache
+		// line, so neighboring workers (and neighboring shards sharing
+		// one register file) stop false-sharing on the set_next path.
+		lay:         core.Layout{Base: o.MemBase, M: o.M, RowLen: o.Capacity}.Padded(),
 		steps:       make([]uint64, o.M),
 		stamp:       make([]uint64, o.Capacity+1),
 		unperformed: make([]int, 0, o.Capacity),

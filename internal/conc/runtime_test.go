@@ -161,7 +161,9 @@ func TestRuntimeRoundValidation(t *testing.T) {
 // layout window.
 func TestRuntimeExternalMem(t *testing.T) {
 	const m, k, base = 3, 64, 17
-	lay := core.Layout{Base: base, M: m, RowLen: k}
+	// The runtime lays its registers out cache-line padded; size the
+	// backend and place the sentinels against that layout.
+	lay := core.Layout{Base: base, M: m, RowLen: k}.Padded()
 	mem := shmem.NewAtomic(base + lay.Size() + 5)
 	// Sentinels outside the runtime's window must never be touched.
 	mem.Write(base-1, 123)

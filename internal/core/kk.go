@@ -65,30 +65,61 @@ func (ph Phase) String() string {
 }
 
 // Layout maps the algorithm's shared variables onto a flat register file:
-// the next array (m cells), the done matrix (m rows of RowLen cells) and,
-// for IterStepKK, one termination-flag cell. Base allows several instances
-// (IterativeKK levels) to share one memory.
+// the next array (m cells, optionally strided), the done matrix (m rows
+// of RowLen cells) and, for IterStepKK, one termination-flag cell. Base
+// allows several instances (IterativeKK levels) to share one memory.
 type Layout struct {
 	Base    int
 	M       int
 	RowLen  int
 	HasFlag bool
+	// NextStride spaces consecutive next-array cells NextStride registers
+	// apart (0 or 1 = packed). Every process re-reads every next_q each
+	// round (gather phases), while next_p is write-hot for its owner — on
+	// a packed layout eight processes' next cells share one cache line
+	// and every set_next invalidates all of them. Padded() sets the
+	// stride to a full cache line. The done matrix is left packed: a row
+	// has a single writer and rows are RowLen cells long, so only the
+	// RowLen-boundary cells can ever be shared.
+	NextStride int
+}
+
+// CacheLineCells is the number of 8-byte registers in a 64-byte cache
+// line — the stride Padded layouts use for the next array.
+const CacheLineCells = 8
+
+// Padded returns l with its next array spread one cell per cache line.
+// It costs (CacheLineCells-1)*M extra registers and leaves packed-layout
+// instances (the zero NextStride) byte-compatible with earlier versions.
+func (l Layout) Padded() Layout {
+	l.NextStride = CacheLineCells
+	return l
+}
+
+// nextStride is the effective spacing of next-array cells.
+func (l Layout) nextStride() int {
+	if l.NextStride < 1 {
+		return 1
+	}
+	return l.NextStride
 }
 
 // NextAddr returns the address of next_q (q is 1-based).
-func (l Layout) NextAddr(q int) int { return l.Base + q - 1 }
+func (l Layout) NextAddr(q int) int { return l.Base + (q-1)*l.nextStride() }
 
 // DoneAddr returns the address of done_{q,idx} (q, idx are 1-based).
 func (l Layout) DoneAddr(q, idx int) int {
-	return l.Base + l.M + (q-1)*l.RowLen + idx - 1
+	return l.Base + l.M*l.nextStride() + (q-1)*l.RowLen + idx - 1
 }
 
 // FlagAddr returns the address of the IterStepKK termination flag.
-func (l Layout) FlagAddr() int { return l.Base + l.M + l.M*l.RowLen }
+func (l Layout) FlagAddr() int {
+	return l.Base + l.M*l.nextStride() + l.M*l.RowLen
+}
 
 // Size returns the number of registers the instance occupies.
 func (l Layout) Size() int {
-	s := l.M + l.M*l.RowLen
+	s := l.M*l.nextStride() + l.M*l.RowLen
 	if l.HasFlag {
 		s++
 	}

@@ -68,6 +68,36 @@ func TestLayoutAddresses(t *testing.T) {
 	}
 }
 
+func TestLayoutPaddedAddresses(t *testing.T) {
+	l := Layout{Base: 10, M: 3, RowLen: 5, HasFlag: true}.Padded()
+	// Next cells sit one cache line (CacheLineCells registers) apart.
+	if got := l.NextAddr(1); got != 10 {
+		t.Errorf("NextAddr(1) = %d, want 10", got)
+	}
+	if got := l.NextAddr(3); got != 10+2*CacheLineCells {
+		t.Errorf("NextAddr(3) = %d, want %d", got, 10+2*CacheLineCells)
+	}
+	// The done matrix stays packed, starting right after the strided
+	// next array.
+	if got := l.DoneAddr(1, 1); got != 34 {
+		t.Errorf("DoneAddr(1,1) = %d, want 34", got)
+	}
+	if got := l.DoneAddr(2, 3); got != 41 {
+		t.Errorf("DoneAddr(2,3) = %d, want 41", got)
+	}
+	if got := l.FlagAddr(); got != 49 {
+		t.Errorf("FlagAddr = %d, want 49", got)
+	}
+	if got := l.Size(); got != 40 {
+		t.Errorf("Size = %d, want 40", got)
+	}
+	// Padding must never make two variables share an address: the last
+	// next cell is strictly below the first done cell.
+	if l.NextAddr(3) >= l.DoneAddr(1, 1) {
+		t.Errorf("next array overlaps done matrix: %d >= %d", l.NextAddr(3), l.DoneAddr(1, 1))
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := NewSystem(Config{N: 5, M: 0}); err == nil {
 		t.Error("m=0 accepted")

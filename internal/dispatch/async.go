@@ -28,9 +28,25 @@ type JobResult struct {
 	Recovered bool
 }
 
-// waiterShards is the lock striping of the completion-notification
+// waiterStripes is the lock striping of the completion-notification
 // table; a power of two so the modulo is a mask.
-const waiterShards = 16
+const waiterStripes = 64
+
+// waiterStripe is one lock-striped slice of the table, padded to a full
+// cache line so neighboring stripes — hammered by different shards —
+// never false-share.
+type waiterStripe struct {
+	mu sync.Mutex
+	m  map[uint64]func(JobResult)
+	_  [48]byte
+}
+
+// waiterHit pairs a resolved waiter with its result, collected under a
+// stripe lock and fired outside it (see resolveResults).
+type waiterHit struct {
+	done func(JobResult)
+	r    JobResult
+}
 
 // waiters is the dispatcher-wide completion-notification table: job id →
 // completion callback, registered by the async submit paths and fired by
@@ -39,57 +55,97 @@ const waiterShards = 16
 // carry-over, work-stealing (the performing shard may not be the one the
 // job was submitted to) and durable recovery (a recovered job never
 // reaches a shard; its waiter is fired by the submit path itself).
+//
+// The stripe of an id is its id BLOCK modulo waiterStripes: single
+// submissions draw consecutive ids from their shard's leased block (see
+// leaseID), so one shard's adds land on one stripe at a time, and a
+// round's batched resolution touches each stripe once per run of
+// consecutive ids instead of once per job. Different shards hold
+// different blocks, so under concurrent load they hash to different
+// stripes instead of bouncing one table-wide line.
 type waiters struct {
-	n      atomic.Int64 // registered waiters; lets sync-only workloads skip the table
-	stripe [waiterShards]struct {
-		mu sync.Mutex
-		m  map[uint64]func(JobResult)
-	}
+	// used latches once any waiter has ever been registered; sync-only
+	// workloads read it (read-mostly, no write traffic after the first
+	// async submission) and skip the table entirely.
+	used   atomic.Bool
+	_      [63]byte
+	stripe [waiterStripes]waiterStripe
 }
 
-// active reports whether any waiter is registered; shards use it to skip
-// per-job table lookups when the workload is purely synchronous.
-func (w *waiters) active() bool { return w.n.Load() > 0 }
+// stripeOf maps an id to its stripe: block-clustered (see waiters).
+func stripeOf(id uint64) int {
+	return int((id >> idBlockBits) & (waiterStripes - 1))
+}
+
+// active reports whether a waiter was ever registered; shards use it to
+// skip per-job table lookups when the workload is purely synchronous.
+// It never resets: a dispatcher that has seen one async submission keeps
+// collecting results, which costs a per-round slice walk, not a lock.
+func (w *waiters) active() bool { return w.used.Load() }
 
 // add registers done to fire when job id completes. The id must not
 // already be registered (ids are unique, and each is registered at most
-// once by its submitting goroutine).
+// once by its submitting goroutine). The used latch is written only on
+// the first async submission, so the flag's cache line stays read-mostly
+// (shards poll active() every round).
 func (w *waiters) add(id uint64, done func(JobResult)) {
-	s := &w.stripe[id%waiterShards]
+	if !w.used.Load() {
+		w.used.Store(true)
+	}
+	s := &w.stripe[stripeOf(id)]
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = make(map[uint64]func(JobResult))
 	}
 	s.m[id] = done
 	s.mu.Unlock()
-	w.n.Add(1)
 }
 
-// resolve fires and removes id's waiter, if any. The callback runs on
-// the caller's goroutine, outside all table and shard locks.
-func (w *waiters) resolve(id uint64, r JobResult) {
-	s := &w.stripe[id%waiterShards]
-	s.mu.Lock()
-	done, ok := s.m[id]
-	if ok {
-		delete(s.m, id)
+// resolveResults fires the waiter (if any) of every result's id, in
+// result order. Consecutive results on the same stripe resolve under ONE
+// lock acquisition — a round's results arrive in batch order and ids
+// cluster by block, so a typical round costs a handful of lock rounds
+// instead of one per job. Callbacks never run under the stripe lock
+// (they may re-enter add via SubmitAsync): each run's hits are collected
+// into *scratch (the caller's reusable buffer, grown as needed) and
+// fired after the lock is dropped, preserving result order.
+func (w *waiters) resolveResults(rs []JobResult, scratch *[]waiterHit) {
+	if !w.used.Load() {
+		return
 	}
-	s.mu.Unlock()
-	if ok {
-		w.n.Add(-1)
-		done(r)
-	}
-}
-
-// resolveResults fires the waiter (if any) of every result's id. Ids
-// without a waiter (plain Submit jobs) are skipped cheaply.
-func (w *waiters) resolveResults(rs []JobResult) {
-	for _, r := range rs {
-		if w.n.Load() == 0 {
-			return
+	buf := (*scratch)[:0]
+	for i := 0; i < len(rs); {
+		si := stripeOf(rs[i].ID)
+		st := &w.stripe[si]
+		st.mu.Lock()
+		j := i
+		for ; j < len(rs) && stripeOf(rs[j].ID) == si; j++ {
+			if done, ok := st.m[rs[j].ID]; ok {
+				delete(st.m, rs[j].ID)
+				buf = append(buf, waiterHit{done, rs[j]})
+			}
 		}
-		w.resolve(r.ID, r)
+		st.mu.Unlock()
+		for k := range buf {
+			buf[k].done(buf[k].r)
+			buf[k] = waiterHit{} // drop the callback reference
+		}
+		buf = buf[:0]
+		i = j
 	}
+	*scratch = buf
+}
+
+// pending counts registered waiters — a test/debug helper (it takes
+// every stripe lock), not a hot-path primitive.
+func (w *waiters) pending() int {
+	n := 0
+	for i := range w.stripe {
+		w.stripe[i].mu.Lock()
+		n += len(w.stripe[i].m)
+		w.stripe[i].mu.Unlock()
+	}
+	return n
 }
 
 // SubmitAsync enqueues fn like Submit and additionally returns a future:

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,7 +38,10 @@ type Config struct {
 	// Shards multiply throughput: rounds on different shards run fully in
 	// parallel and share nothing.
 	Shards int
-	// Workers is m, the worker goroutines per shard (default 4).
+	// Workers is m, the worker goroutines per shard. The default is
+	// derived from the machine: enough workers to cover
+	// runtime.GOMAXPROCS(0) across the shards, clamped to [2, 8] per
+	// shard (see DefaultWorkers).
 	Workers int
 	// Beta is KKβ's termination parameter per shard (0 = Workers, the
 	// effectiveness-optimal choice).
@@ -107,8 +111,12 @@ type Config struct {
 // When New finds existing register state, it scans the journals and
 // treats those ids as already performed. The contract is that the
 // client re-submits the same job stream in the same order after a
-// restart (ids are assigned by submission order, so determinism is the
-// client's responsibility); re-submitted jobs that were performed by a
+// restart: id assignment is a deterministic function of the submission
+// sequence (singles draw densely from their target shard's leased id
+// block, batches lease contiguous ranges — see the id-range leasing
+// comment above Dispatcher), so the same stream reproduces the same
+// ids, and determinism of the stream is the client's responsibility.
+// Re-submitted jobs that were performed by a
 // previous incarnation resolve immediately without running their
 // payload, and everything else — including the residue the crash cut
 // off mid-round — runs exactly once. Stats.Recovered counts the skips.
@@ -133,12 +141,33 @@ const (
 // latency stays bounded.
 const DefaultRoundTarget = 5 * time.Millisecond
 
+// DefaultWorkers is the worker count per shard used when Config.Workers
+// is zero: ceil(GOMAXPROCS/shards), so the default dispatcher saturates
+// the machine without oversubscribing it, clamped to [2, 8] — m = 1
+// degenerates KKβ (no contention to resolve, but also no fault
+// tolerance), and beyond 8 the done-matrix gather cost per round
+// outweighs the extra parallelism of a single shard.
+func DefaultWorkers(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	p := runtime.GOMAXPROCS(0)
+	w := (p + shards - 1) / shards
+	if w < 2 {
+		w = 2
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
 func (c *Config) normalize() error {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
 	if c.Workers <= 0 {
-		c.Workers = 4
+		c.Workers = DefaultWorkers(c.Shards)
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
@@ -179,6 +208,44 @@ var ErrQueueFull = errors.New("dispatch: shard queue is full (QueueDepth reached
 // durable journal rows.
 var ErrJournalFull = errors.New("dispatch: durable journal capacity exhausted (raise Config.MaxJobs)")
 
+// Id-range leasing. Ids are still assigned by submission order — the
+// durable recovery contract depends on it — but the global cursor is
+// touched once per BLOCK, not once per job: each shard leases blocks of
+// idBlock ids and hands out singles from its current block (leaseID), so
+// the only cross-shard state on the single-submit hot path is one CAS
+// every idBlock submissions. A shard's sequence of singles stays dense
+// within its blocks (a block is consumed in order, and a new one is
+// leased only when the previous is spent), which is exactly what
+// deterministic re-submission needs: the same submit stream re-leases
+// the same blocks in the same order and reproduces the same ids.
+// Batches lease their contiguous range [first, first+n) directly from
+// the cursor (leaseRange), interleaving with the shards' blocks.
+const (
+	// idBlockBits is log2(idBlock); the completion table stripes by
+	// id >> idBlockBits so one shard's consecutive singles land on one
+	// stripe (see waiters).
+	idBlockBits = 6
+	idBlock     = 1 << idBlockBits
+)
+
+// padUint64 is an atomic counter alone on its cache line, so hot
+// counters owned by different shards never false-share.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardCount holds one shard's submission/completion counters, each on
+// its own cache line. Flush and Stats sum them across shards — reading
+// every performed before any submitted, so the sums never show a job
+// performed without its submission (see FlushContext).
+type shardCount struct {
+	submitted atomic.Uint64
+	_         [56]byte
+	performed atomic.Uint64
+	_         [56]byte
+}
+
 // Dispatcher is a long-lived, sharded, round-based at-most-once engine.
 // All methods are safe for concurrent use.
 type Dispatcher struct {
@@ -186,10 +253,14 @@ type Dispatcher struct {
 	shards []*shard
 	start  time.Time
 
-	nextID    atomic.Uint64 // job ids handed out
-	rr        atomic.Uint64 // round-robin shard cursor
-	submitted atomic.Uint64
-	performed atomic.Uint64
+	idCursor padUint64 // ids leased so far (shard blocks + batch ranges)
+	rr       padUint64 // round-robin shard cursor
+
+	// counts[i] belongs to shard i; len(counts) == Shards.
+	counts []shardCount
+	// flushers counts FlushContext calls parked on cond; shards broadcast
+	// completion progress only while one is waiting (see shard.jobsDone).
+	flushers atomic.Int32
 
 	// Crash-recovery state: ids a previous incarnation's journals proved
 	// performed, consumed as the client re-submits the stream. recLeft
@@ -229,6 +300,7 @@ func New(cfg Config) (*Dispatcher, error) {
 	}
 	d := &Dispatcher{cfg: cfg, start: time.Now()}
 	d.cond = sync.NewCond(&d.mu)
+	d.counts = make([]shardCount, cfg.Shards)
 	d.shards = make([]*shard, cfg.Shards)
 	d.recovered = make(map[uint64]struct{})
 	for i := range d.shards {
@@ -281,6 +353,56 @@ func (d *Dispatcher) resolveRecovered(id uint64) bool {
 	return ok
 }
 
+// leaseBlock claims the next block of up to idBlock fresh ids from the
+// global cursor, returning the half-open range [lo, hi). Durable
+// dispatchers clamp the lease at MaxJobs, so the journal's last block is
+// short rather than overshot — a CAS that would start past MaxJobs fails
+// with ErrJournalFull and moves nothing, so a rejected submission never
+// burns ids.
+func (d *Dispatcher) leaseBlock() (lo, hi uint64, err error) {
+	if d.cfg.NewMem == nil {
+		end := d.idCursor.v.Add(idBlock)
+		return end - idBlock + 1, end + 1, nil
+	}
+	max := uint64(d.cfg.MaxJobs)
+	for {
+		cur := d.idCursor.v.Load()
+		if cur >= max {
+			return 0, 0, ErrJournalFull
+		}
+		want := uint64(idBlock)
+		if cur+want > max {
+			want = max - cur
+		}
+		if d.idCursor.v.CompareAndSwap(cur, cur+want) {
+			return cur + 1, cur + want + 1, nil
+		}
+	}
+}
+
+// leaseRange claims the contiguous range [first, first+n) directly from
+// the global cursor — a batch is its own lease, independent of the
+// shards' single-submit blocks. A durable range that would cross
+// MaxJobs fails with ErrJournalFull without moving the cursor: no ids
+// are burned, and a smaller batch (or more MaxJobs headroom) may still
+// be accepted afterwards.
+func (d *Dispatcher) leaseRange(n uint64) (uint64, error) {
+	if d.cfg.NewMem == nil {
+		end := d.idCursor.v.Add(n)
+		return end - n + 1, nil
+	}
+	max := uint64(d.cfg.MaxJobs)
+	for {
+		cur := d.idCursor.v.Load()
+		if cur+n > max {
+			return 0, ErrJournalFull
+		}
+		if d.idCursor.v.CompareAndSwap(cur, cur+n) {
+			return cur + 1, nil
+		}
+	}
+}
+
 // Submit enqueues one job and returns its dispatcher-wide id. The job will
 // be executed at most once, and — as long as the dispatcher keeps running
 // rounds — exactly once. With a bounded queue (Config.QueueDepth) and the
@@ -314,7 +436,7 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
-	s := d.shards[(d.rr.Add(1)-1)%uint64(len(d.shards))]
+	s := d.shards[(d.rr.v.Add(1)-1)%uint64(len(d.shards))]
 	bounded := d.cfg.QueueDepth > 0
 	if bounded {
 		if d.cfg.Policy == FailFast {
@@ -325,14 +447,14 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 			return 0, err
 		}
 	}
-	id := d.nextID.Add(1)
-	if d.cfg.NewMem != nil && id > uint64(d.cfg.MaxJobs) {
+	id, err := s.leaseID()
+	if err != nil {
 		if bounded {
 			s.unreserve(1)
 		}
-		return 0, ErrJournalFull
+		return 0, err
 	}
-	d.submitted.Add(1)
+	s.count.submitted.Add(1)
 	if d.resolveRecovered(id) {
 		// A previous incarnation performed this job; resolve it without
 		// re-running the payload (the at-most-once guarantee across
@@ -344,7 +466,7 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 		if done != nil {
 			done(JobResult{ID: id, Recovered: true})
 		}
-		d.jobsDone(1)
+		s.jobsDone(1)
 		return id, nil
 	}
 	if done != nil {
@@ -360,11 +482,12 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 // spread across shards in contiguous chunks, one shard lock per chunk.
 // Acceptance is all-or-nothing: either every job is enqueued (and will be
 // performed) or the call fails — with ErrClosed, with ErrQueueFull when a
-// FailFast batch does not fit into the target shards' free capacity
-// (nothing is enqueued and no ids are consumed), or with ErrJournalFull
-// when a durable batch would cross MaxJobs (the reserved ids are burned)
-// — and none are. Under Block, a batch larger than the free capacity is
-// fed in as rounds drain the queues.
+// FailFast batch does not fit into the target shards' free capacity, or
+// with ErrJournalFull when a durable batch would cross MaxJobs — and none
+// are. A failed call consumes no ids whatsoever (the range lease never
+// moves the cursor on failure), so the deterministic id sequence is
+// unaffected by rejected batches. Under Block, a batch larger than the
+// free capacity is fed in as rounds drain the queues.
 //
 // An EMPTY batch returns the sentinel (0, nil): no job id is consumed,
 // no shard is touched, and 0 is never a real id — real ids start at 1.
@@ -406,17 +529,18 @@ func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry
 			}
 		}
 	}
-	un := uint64(n)
-	first := d.nextID.Add(un) - un + 1
-	if d.cfg.NewMem != nil && first+un-1 > uint64(d.cfg.MaxJobs) {
+	first, err := d.leaseRange(uint64(n))
+	if err != nil {
 		if failFast {
 			for _, c := range plan {
 				c.s.unreserve(c.hi - c.lo)
 			}
 		}
-		return 0, ErrJournalFull
+		return 0, err
 	}
-	d.submitted.Add(un)
+	for _, c := range plan {
+		c.s.count.submitted.Add(uint64(c.hi - c.lo))
+	}
 	if d.recLeft.Load() > 0 {
 		// Recovery is draining: filter out the jobs a previous
 		// incarnation already performed, chunk by chunk, and enqueue the
@@ -452,7 +576,7 @@ func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry
 				if failFast {
 					c.s.unreserve(skipped)
 				}
-				d.jobsDone(skipped)
+				c.s.jobsDone(skipped)
 			}
 			if len(buf) > 0 {
 				c.s.enqueueEntries(buf, failFast)
@@ -493,7 +617,7 @@ type chunk struct {
 // before any id is consumed or any entry enqueued.
 func (d *Dispatcher) plan(n int) []chunk {
 	S := len(d.shards)
-	base := int(d.rr.Add(1) - 1)
+	base := int(d.rr.v.Add(1) - 1)
 	per := (n + S - 1) / S
 	out := make([]chunk, 0, S)
 	for i := 0; i < S && i*per < n; i++ {
@@ -531,13 +655,37 @@ func (d *Dispatcher) FlushContext(ctx context.Context) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for d.performed.Load() < d.submitted.Load() {
+	d.flushers.Add(1)
+	defer d.flushers.Add(-1)
+	for d.sumPerformed() < d.sumSubmitted() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		d.cond.Wait()
 	}
 	return nil
+}
+
+// sumPerformed and sumSubmitted total the per-shard counters. Callers
+// comparing the two must call sumPerformed FIRST: with sequentially
+// consistent atomics, any job whose performed increment the first sum
+// observed had its submitted increment ordered before it, so the second
+// sum observes that too — performed ≥ submitted then proves every
+// counted submission has resolved, never the other way around.
+func (d *Dispatcher) sumPerformed() uint64 {
+	var n uint64
+	for i := range d.counts {
+		n += d.counts[i].performed.Load()
+	}
+	return n
+}
+
+func (d *Dispatcher) sumSubmitted() uint64 {
+	var n uint64
+	for i := range d.counts {
+		n += d.counts[i].submitted.Load()
+	}
+	return n
 }
 
 // Close drains all pending jobs, stops the shard loops and releases the
@@ -610,10 +758,15 @@ func (d *Dispatcher) abandon() {
 	}
 }
 
-// jobsDone is called by shards after each round to publish progress.
-func (d *Dispatcher) jobsDone(n int) {
-	if n > 0 {
-		d.performed.Add(uint64(n))
+// wakeFlushers wakes parked FlushContext calls after completion
+// progress, but only when one is actually waiting: flushers is
+// incremented under d.mu BEFORE the flusher reads the counter sums, so
+// (seq-cst) a resolver that loads flushers == 0 is ordered before that
+// increment and its performed counts are visible to the flusher's own
+// sums — the common no-flusher round skips the lock entirely.
+func (d *Dispatcher) wakeFlushers() {
+	if d.flushers.Load() == 0 {
+		return
 	}
 	d.mu.Lock()
 	d.cond.Broadcast()
@@ -727,13 +880,13 @@ type Stats struct {
 
 // Stats snapshots the dispatcher's counters.
 func (d *Dispatcher) Stats() Stats {
-	// Load performed first: submitted only grows, and a job is counted
+	// Sum performed first: submitted only grows, and a job is counted
 	// submitted before it can ever be performed, so this order (plus the
 	// clamp) keeps Pending from underflowing when jobs complete between
-	// the two loads.
-	performed := d.performed.Load()
+	// the two sums (see sumPerformed).
+	performed := d.sumPerformed()
 	st := Stats{
-		Submitted: d.submitted.Load(),
+		Submitted: d.sumSubmitted(),
 		Performed: performed,
 		Recovered: d.recoveredN.Load(),
 		Elapsed:   time.Since(d.start),

@@ -205,14 +205,18 @@ func TestDispatcherCloseDrains(t *testing.T) {
 	}
 }
 
-// TestDispatcherIDs checks id assignment: sequential for Submit, a
-// contiguous block for SubmitBatch.
+// TestDispatcherIDs checks id assignment under per-shard block leasing:
+// each shard draws dense ids from its own leased idBlock-sized block
+// (one global-cursor CAS per block, not per job), and SubmitBatch leases
+// its own contiguous range from the cursor.
 func TestDispatcherIDs(t *testing.T) {
 	d, err := New(Config{Shards: 3, Workers: 2, MaxBatch: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d.Close()
+	// Round-robin: the first two singles land on shards 0 and 1, each
+	// leasing a fresh block.
 	id1, err := d.Submit(func() {})
 	if err != nil {
 		t.Fatal(err)
@@ -221,22 +225,49 @@ func TestDispatcherIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id2 != id1+1 {
-		t.Fatalf("ids %d, %d not sequential", id1, id2)
+	if id1 != 1 {
+		t.Fatalf("first single id %d, want 1 (shard 0's block starts the sequence)", id1)
 	}
+	if id2 != idBlock+1 {
+		t.Fatalf("second single id %d, want %d (shard 1 leases its own block)", id2, idBlock+1)
+	}
+	// A batch leases a contiguous range directly from the cursor, past
+	// the blocks already handed to the shards.
 	first, err := d.SubmitBatch([]Job{func() {}, func() {}, func() {}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != id2+1 {
-		t.Fatalf("batch first id %d, want %d", first, id2+1)
+	if first != 2*idBlock+1 {
+		t.Fatalf("batch first id %d, want %d", first, 2*idBlock+1)
 	}
+	// The next single continues shard 0's block densely: per-shard
+	// sequences stay gapless, which is what deterministic re-submission
+	// keys on.
 	next, err := d.Submit(func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if next != first+3 {
-		t.Fatalf("post-batch id %d, want %d", next, first+3)
+	if next != id1+1 {
+		t.Fatalf("post-batch single id %d, want %d (shard 0's block continues densely)", next, id1+1)
+	}
+}
+
+// TestDispatcherIDsSingleShard: with one shard the whole single-submit
+// stream is one dense sequence from 1, blocks notwithstanding.
+func TestDispatcherIDsSingleShard(t *testing.T) {
+	d, err := New(Config{Shards: 1, Workers: 2, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for want := uint64(1); want <= idBlock+2; want++ {
+		id, err := d.Submit(func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("single-shard id %d, want %d (dense across block boundaries)", id, want)
+		}
 	}
 }
 

@@ -19,8 +19,9 @@ import (
 //	                         dispatcher-wide id of every job it performs
 //	                         to row p, in order, before invoking the
 //	                         payload
-//	the rest               — the conc.Runtime register layout (next
-//	                         array + done matrix) at base jbase+m·MaxJobs
+//	the rest               — the conc.Runtime register layout (cache-
+//	                         line-padded next array + done matrix) at
+//	                         base jbase+m·MaxJobs
 //
 // The journal rows mirror the paper's done matrix — single-writer
 // ownership registers, append-only within a row — but hold durable
@@ -38,7 +39,9 @@ const jmetaCells = 8
 // 1's journal and re-execute its jobs, so any shape change is refused.
 func fingerprint(shard, shards, m, maxBatch, maxJobs int) int64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "amo-dispatch-v1/%d of %d/%d/%d/%d", shard, shards, m, maxBatch, maxJobs)
+	// v2: the runtime window moved to the cache-line-padded register
+	// layout, so v1 files (packed next array) are not interpretable.
+	fmt.Fprintf(h, "amo-dispatch-v2/%d of %d/%d/%d/%d", shard, shards, m, maxBatch, maxJobs)
 	return int64(h.Sum64() >> 1) // keep it positive and distinct from the empty cell
 }
 
@@ -54,7 +57,8 @@ func (s *shard) jaddr(p, idx int) int { return jmetaCells + (p-1)*s.jlen + idx }
 // initial state.
 func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 	m, maxBatch, maxJobs := cfg.Workers, cfg.MaxBatch, cfg.MaxJobs
-	lay := core.Layout{M: m, RowLen: maxBatch}
+	// Padded, matching the layout conc.NewRuntime builds over this window.
+	lay := core.Layout{M: m, RowLen: maxBatch}.Padded()
 	jbase := jmetaCells + m*maxJobs
 	size := jbase + lay.Size()
 	b, err := cfg.NewMem(s.id, size)

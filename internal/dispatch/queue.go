@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"math"
 	"sort"
 )
 
@@ -261,6 +262,27 @@ func (q *pqueue) extractDue(cutoff int64, dst []entry) []entry {
 		}
 		dst = r.extractDue(cutoff, dst)
 	}
+	q.size -= len(dst) - before
+	due := dst[before:]
+	sort.SliceStable(due, func(a, b int) bool { return due[a].dl < due[b].dl })
+	return dst
+}
+
+// popRing removes the head entry of ring ri. The caller must ensure the
+// ring is non-empty.
+func (q *pqueue) popRing(ri int) entry {
+	q.size--
+	return q.rings[ri].popFront()
+}
+
+// extractDeadlined removes every deadlined entry of ring ri, appending
+// them to dst in DEADLINE order (FIFO ties) — the EDF pre-pass for a
+// priority class that cannot be drained whole this round (see
+// shard.takeClass). A stale minDL bound costs at most the one sweep,
+// which recomputes it exactly.
+func (q *pqueue) extractDeadlined(ri int, dst []entry) []entry {
+	before := len(dst)
+	dst = q.rings[ri].extractDue(math.MaxInt64, dst)
 	q.size -= len(dst) - before
 	due := dst[before:]
 	sort.SliceStable(due, func(a, b int) bool { return due[a].dl < due[b].dl })

@@ -280,8 +280,8 @@ func TestReopenConfigMismatch(t *testing.T) {
 	}
 	// A shape with the SAME total size but different geometry gets past
 	// the header and is refused by the fingerprint. With m=2 the cell
-	// count is 8 + 2·MaxJobs + 2 + 2·MaxBatch; trading one MaxBatch cell
-	// for one MaxJobs cell keeps it constant.
+	// count is 8 + 2·MaxJobs + 16 (padded next array) + 2·MaxBatch;
+	// trading one MaxBatch cell for one MaxJobs cell keeps it constant.
 	sly := cfg
 	sly.MaxJobs = cfg.MaxJobs + 1
 	sly.MaxBatch = cfg.MaxBatch - 1
@@ -332,8 +332,8 @@ func TestJournalFull(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Ids beyond MaxJobs are refused (id assignment is not rolled back;
-	// the journal capacity is what is being protected).
+	// Ids beyond MaxJobs are refused; the failed lease moves nothing, so
+	// no ids are burned and the journal capacity stays protected.
 	if _, err := d.Submit(func() {}); !errors.Is(err, ErrJournalFull) {
 		t.Fatalf("submit past MaxJobs: got %v, want ErrJournalFull", err)
 	}

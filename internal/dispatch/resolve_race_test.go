@@ -1,0 +1,94 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBatchedResolutionRace hammers the striped completion table from
+// three sides at once: shard loops resolving whole rounds in stripe
+// batches, concurrent Handle.Done() readers draining futures, and
+// callbacks that re-enter the dispatcher mid-resolution (a nested
+// SubmitCallback lands in the very stripes the resolver is walking —
+// legal only because callbacks fire outside the stripe locks). Every
+// job must resolve exactly once on each side. Run under -race.
+func TestBatchedResolutionRace(t *testing.T) {
+	const (
+		producers = 4
+		outer     = 2000
+	)
+	d, err := New(Config{Shards: 4, Workers: 2, MaxBatch: 64, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each outer job is observed twice: once by its callback, once by a
+	// dedicated goroutine blocked on the handle's future.
+	seen := make([]atomic.Int32, outer)
+	var nestedSubmitted, nestedResolved atomic.Int64
+	var subWG, readWG sync.WaitGroup
+	ctx := context.Background()
+	for p := 0; p < producers; p++ {
+		subWG.Add(1)
+		go func(p int) {
+			defer subWG.Done()
+			for i := p; i < outer; i += producers {
+				idx := i
+				h, err := d.Do(ctx, Task{
+					Fn: func(context.Context) error { return nil },
+					Callback: func(JobResult) {
+						seen[idx].Add(1)
+						if idx%97 == 0 {
+							// Re-enter the dispatcher from inside a resolution
+							// batch.
+							nestedSubmitted.Add(1)
+							if _, err := d.SubmitCallback(func() {}, func(JobResult) {
+								nestedResolved.Add(1)
+							}); err != nil {
+								t.Errorf("nested submit from callback: %v", err)
+							}
+						}
+					},
+				})
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				readWG.Add(1)
+				go func() {
+					defer readWG.Done()
+					r := <-h.Done()
+					if r.ID != h.ID {
+						t.Errorf("future for id %d delivered result for id %d", h.ID, r.ID)
+					}
+					seen[idx].Add(1)
+				}()
+			}
+		}(p)
+	}
+	subWG.Wait()
+	d.Flush()
+	// Nested submissions race the Flush snapshot; wait for them and the
+	// future readers explicitly.
+	waitFor(t, "nested callbacks resolved", func() bool {
+		return nestedResolved.Load() == nestedSubmitted.Load()
+	})
+	readWG.Wait()
+
+	for i := range seen {
+		if c := seen[i].Load(); c != 2 {
+			t.Fatalf("outer job %d observed %d resolutions (callback+future), want 2", i, c)
+		}
+	}
+	if nestedSubmitted.Load() == 0 {
+		t.Fatal("no nested submissions happened; re-entrancy went unexercised")
+	}
+	if n := d.waiters.pending(); n != 0 {
+		t.Fatalf("completion table not drained: %d waiters", n)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

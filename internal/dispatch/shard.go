@@ -43,6 +43,20 @@ type shard struct {
 	rbase   int
 	jcur    []int
 
+	// count points at this shard's padded submitted/performed counters
+	// (d.counts[id]); submit paths and round completion touch only these,
+	// never a dispatcher-global counter.
+	count *shardCount
+
+	// Id-range lease state: [idNext, idEnd) is the unconsumed tail of the
+	// block this shard last leased from the dispatcher's cursor (see
+	// leaseID). idMu is taken only by single-job submitters targeting
+	// this shard — never by the loop — so it is uncontended unless
+	// multiple producers hash onto one shard simultaneously.
+	idMu   sync.Mutex
+	idNext uint64
+	idEnd  uint64
+
 	mu        sync.Mutex
 	cond      *sync.Cond // queue became non-empty (or shard closed)
 	notFull   *sync.Cond // queue space freed, for Block-policy submitters
@@ -74,6 +88,7 @@ type shard struct {
 	doneRes  []JobResult // scratch: results of this round, for waiter resolution
 	dueBuf   []entry     // scratch: deadline-due entries pulled at round assembly
 	expired  []JobResult // scratch: expired-job results, resolved outside the lock
+	cbBuf    []waiterHit // scratch for batched waiter resolution (see waiters.resolveResults)
 }
 
 // newShard builds one shard. With a durable backend it also performs
@@ -84,6 +99,7 @@ func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
 		d:      d,
 		id:     id,
 		m:      d.cfg.Workers,
+		count:  &d.counts[id],
 		depth:  d.cfg.QueueDepth,
 		target: float64(d.cfg.RoundTarget),
 		batch:  make([]entry, d.cfg.MaxBatch),
@@ -117,6 +133,39 @@ func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
 	s.notFull = sync.NewCond(&s.mu)
 	s.execFn = s.exec
 	return s, recovered, nil
+}
+
+// leaseID hands out the next id from the shard's leased block, leasing
+// a fresh block from the dispatcher-wide cursor only when the block is
+// spent — so the single-submit hot path crosses shards once per idBlock
+// ids instead of once per job. Ids within a block are consumed densely
+// and in order on the submitting goroutines, so a deterministic submit
+// stream reproduces the same ids across incarnations (the durable
+// recovery contract). On ErrJournalFull nothing is consumed.
+func (s *shard) leaseID() (uint64, error) {
+	s.idMu.Lock()
+	if s.idNext == s.idEnd {
+		lo, hi, err := s.d.leaseBlock()
+		if err != nil {
+			s.idMu.Unlock()
+			return 0, err
+		}
+		s.idNext, s.idEnd = lo, hi
+	}
+	id := s.idNext
+	s.idNext++
+	s.idMu.Unlock()
+	return id, nil
+}
+
+// jobsDone publishes n resolved jobs (performed, expired or recovered)
+// on this shard's padded counter and wakes parked Flush callers, if any.
+func (s *shard) jobsDone(n int) {
+	if n <= 0 {
+		return
+	}
+	s.count.performed.Add(uint64(n))
+	s.d.wakeFlushers()
 }
 
 // exec is the round payload: local job ids map to batch slots; padding
@@ -353,9 +402,9 @@ func (s *shard) loop() {
 		s.observeRound(n, k, time.Since(t0))
 		performed, doneRes := s.finishRound(n, res)
 		if len(doneRes) > 0 {
-			s.d.waiters.resolveResults(doneRes)
+			s.d.waiters.resolveResults(doneRes, &s.cbBuf)
 		}
-		s.d.jobsDone(performed)
+		s.jobsDone(performed)
 	}
 }
 
@@ -471,15 +520,10 @@ func (s *shard) takeBatch() int {
 				s.dueBuf[i] = entry{} // don't pin payloads past the transfer
 			}
 		}
-		// Priority pass: drain High, then Normal, then Low.
-		for n < limit && s.q.len() > 0 {
-			e := s.q.popFront()
-			if e.dl != 0 && e.dl <= now {
-				s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
-				continue
-			}
-			s.batch[n] = e
-			n++
+		// Priority pass: drain High, then Normal, then Low — EDF within
+		// any class that cannot be drained whole this round (takeClass).
+		for ri := 0; ri < numRings && n < limit; ri++ {
+			n = s.takeClass(ri, n, limit, now)
 		}
 		nExp := len(s.expired)
 		if nExp > 0 {
@@ -497,8 +541,8 @@ func (s *shard) takeBatch() int {
 		if nExp > 0 {
 			// Each expired job resolves exactly once, outside the lock,
 			// and counts toward Flush like any other resolution.
-			s.d.waiters.resolveResults(s.expired)
-			s.d.jobsDone(nExp)
+			s.d.waiters.resolveResults(s.expired, &s.cbBuf)
+			s.jobsDone(nExp)
 		}
 		if n == 0 {
 			continue // everything due had expired; wait for more work
@@ -514,6 +558,56 @@ func (s *shard) takeBatch() int {
 		}
 		return n
 	}
+}
+
+// takeClass moves entries of priority ring ri into the batch (from slot
+// n up to limit) and returns the new n. FIFO is the order within a
+// class — except when the ring holds deadlined entries AND cannot be
+// drained whole this round, the only case where intra-class order can
+// matter: then the deadlined entries are pulled ahead in deadline order
+// (EDF within the class), so of two same-priority deadlined jobs the
+// earlier deadline always runs in the earlier round. The ring's minDL
+// bound keeps the common all-FIFO path scan-free; already-expired
+// entries resolve here exactly like the promotion pass's. Caller holds
+// s.mu.
+func (s *shard) takeClass(ri, n, limit int, now int64) int {
+	r := &s.q.rings[ri]
+	if r.minDL != 0 && r.n > limit-n {
+		// Truncation with deadlines present: extract every deadlined
+		// entry (deadline-sorted), lead the class with the earliest, and
+		// push the overflow back to the FRONT in reverse so deadline
+		// order survives into the next round's assembly.
+		s.dueBuf = s.q.extractDeadlined(ri, s.dueBuf[:0])
+		overflow := 0
+		for _, e := range s.dueBuf {
+			switch {
+			case e.dl <= now:
+				s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+			case n < limit:
+				s.batch[n] = e
+				n++
+			default:
+				s.dueBuf[overflow] = e
+				overflow++
+			}
+		}
+		for i := overflow - 1; i >= 0; i-- {
+			s.q.pushFront(s.dueBuf[i])
+		}
+		for i := range s.dueBuf {
+			s.dueBuf[i] = entry{} // don't pin payloads past the transfer
+		}
+	}
+	for n < limit && r.n > 0 {
+		e := s.q.popRing(ri)
+		if e.dl != 0 && e.dl <= now {
+			s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+			continue
+		}
+		s.batch[n] = e
+		n++
+	}
+	return n
 }
 
 // stealWork claims a slice of the deepest sibling queue for this (idle)

@@ -288,7 +288,7 @@ func soakOnce(t *testing.T, cfg Config, jobs int, seed int64) {
 			t.Fatalf("soak: plain job index %d got %d resolutions", i, c)
 		}
 	}
-	if d.waiters.n.Load() != 0 {
-		t.Fatalf("soak: completion table not drained: %d waiters", d.waiters.n.Load())
+	if n := d.waiters.pending(); n != 0 {
+		t.Fatalf("soak: completion table not drained: %d waiters", n)
 	}
 }

@@ -58,7 +58,11 @@ type Task struct {
 	// started always runs and counts as performed (at-most-once is
 	// untouched: expiry can only turn "run once" into "run zero times").
 	// A queued job due within the shard's promotion window is pulled
-	// ahead of its class in deadline order so it gets its chance to run.
+	// ahead of its class in deadline order so it gets its chance to run;
+	// and when a class holds deadlined jobs but cannot be drained whole
+	// in one round, the deadlined jobs lead the class earliest-first
+	// (EDF), so of two same-priority deadlined jobs the earlier deadline
+	// never runs in a later round.
 	Deadline time.Time
 	// Priority selects the scheduling class; the zero value is Normal.
 	Priority Priority
@@ -73,7 +77,10 @@ type Task struct {
 // Handle identifies an accepted Task: its dispatcher-wide id and its
 // completion future.
 type Handle struct {
-	// ID is the job's dispatcher-wide id (assigned sequentially from 1).
+	// ID is the job's dispatcher-wide id. Ids start at 1, and each
+	// shard's single-submit sequence is dense (consecutive ids from
+	// leased blocks — see the id-leasing notes in dispatch.go), so a
+	// fixed submission order always reproduces the same ids.
 	ID uint64
 
 	ch chan JobResult
