@@ -49,6 +49,15 @@ type asyncResult struct {
 	P50Micros          float64 `json:"p50_us"`
 	P99Micros          float64 `json:"p99_us"`
 	P999Micros         float64 `json:"p999_us"`
+	// HistP50Micros/HistP99Micros are the same submit→done quantiles
+	// read back from the dispatcher's obs latency histogram
+	// (amo_dispatcher_submit_to_done_seconds): 1-in-16 sampled and
+	// log-bucketed (≤12.5% relative error) where p50_us/p99_us are
+	// exact over every job. Committing both lets trajectories
+	// cross-check what a production scrape would report against ground
+	// truth.
+	HistP50Micros float64 `json:"hist_p50_us"`
+	HistP99Micros float64 `json:"hist_p99_us"`
 }
 
 // asyncReport is the -async -json document.
@@ -88,17 +97,18 @@ func runAsync(quick, asJSON bool, backend string) error {
 	fmt.Printf("# Async submission pipeline latency (%s mode, %s backend)\n\n", report.Mode, report.Backend)
 	fmt.Printf("%d jobs per shape (median of %d reps after %d warmup jobs), %d producers, SubmitPolicy Block; payload = one atomic increment.\n\n",
 		report.Jobs, asyncReps, benchWarmup, asyncProducers)
-	fmt.Println("| shards | workers | max batch | queue depth | skew | rounds | stolen | blocked ms | jobs/sec | p50 µs | p99 µs | p999 µs |")
-	fmt.Println("|-------:|--------:|----------:|------------:|:----:|-------:|-------:|-----------:|---------:|-------:|-------:|--------:|")
+	fmt.Println("| shards | workers | max batch | queue depth | skew | rounds | stolen | blocked ms | jobs/sec | p50 µs | p99 µs | p999 µs | hist p50 µs | hist p99 µs |")
+	fmt.Println("|-------:|--------:|----------:|------------:|:----:|-------:|-------:|-----------:|---------:|-------:|-------:|--------:|------------:|------------:|")
 	for _, res := range report.Results {
 		skew := ""
 		if res.Skewed {
 			skew = "✓"
 		}
-		fmt.Printf("| %d | %d | %d | %d | %s | %d | %d | %.1f | %.0f | %.1f | %.1f | %.1f |\n",
+		fmt.Printf("| %d | %d | %d | %d | %s | %d | %d | %.1f | %.0f | %.1f | %.1f | %.1f | %.1f | %.1f |\n",
 			res.Shards, res.Workers, res.Batch, res.QueueDepth, skew, res.Rounds, res.StolenJobs,
 			float64(res.SubmitBlockedNanos)/1e6, res.JobsPerSec,
-			res.P50Micros, res.P99Micros, res.P999Micros)
+			res.P50Micros, res.P99Micros, res.P999Micros,
+			res.HistP50Micros, res.HistP99Micros)
 	}
 	fmt.Println()
 	return nil
@@ -186,6 +196,8 @@ func asyncMedian(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 	med.P50Micros = medianOf(func(r asyncResult) float64 { return r.P50Micros })
 	med.P99Micros = medianOf(func(r asyncResult) float64 { return r.P99Micros })
 	med.P999Micros = medianOf(func(r asyncResult) float64 { return r.P999Micros })
+	med.HistP50Micros = medianOf(func(r asyncResult) float64 { return r.HistP50Micros })
+	med.HistP99Micros = medianOf(func(r asyncResult) float64 { return r.HistP99Micros })
 	return med, nil
 }
 
@@ -199,6 +211,11 @@ func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 		QueueDepth:      sh.QueueDepth,
 		SubmitPolicy:    atmostonce.Block,
 		Backend:         backend,
+		// The async sweep's headline numbers are latencies, so the obs
+		// registry is always on: each point reports the latency
+		// histogram's view of p50/p99 next to the exact percentiles.
+		Metrics:     true,
+		MetricsAddr: benchMetricsAddr,
 		// Slack beyond the timed jobs: the warmup stream, plus each
 		// shard's possibly part-consumed leased id block.
 		MaxJobs: jobs + benchWarmup + 64*sh.Shards,
@@ -285,6 +302,15 @@ func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 			return zero, fmt.Errorf("async: job %d never resolved its future", i)
 		}
 	}
+	// The histogram's view of the same distribution, read back before
+	// Close. ok is false only if the 1-in-16 sample mask caught nothing,
+	// which cannot happen over these stream lengths.
+	var histP50, histP99 float64
+	if qs, ok := d.LatencyQuantiles(0.5, 0.99); ok {
+		histP50 = float64(qs[0]) / 1e3
+		histP99 = float64(qs[1]) / 1e3
+	}
+
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	pct := func(p float64) float64 {
 		i := int(p * float64(len(lat)-1))
@@ -300,5 +326,7 @@ func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 		P50Micros:          pct(0.50),
 		P99Micros:          pct(0.99),
 		P999Micros:         pct(0.999),
+		HistP50Micros:      histP50,
+		HistP99Micros:      histP99,
 	}, nil
 }

@@ -24,20 +24,29 @@
 // diffs them against a committed BENCH_N.json, exiting nonzero when any
 // matched sweep point's jobs/sec regressed more than -tolerance
 // (default 20%).
+// With -overhead it measures the observability layer's own hot-path
+// cost: interleaved metrics-on/metrics-off streaming reps on one shape,
+// failing when the median metrics-on throughput regresses more than
+// -overheadtol (default 3%) — the CI gate for DESIGN.md §12's overhead
+// budget.
 // -backend selects the register backend (atomic, mmap[:PATH],
 // net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
 // cost of durable journaling — local or networked — is measurable;
 // -json emits the sweep as one JSON document for bench trajectories
 // (BENCH_*.json), including each shape's per-round effectiveness
-// histogram (eff_hist); -cpuprofile writes a pprof CPU profile of the
-// selected run.
+// histogram (eff_hist); -metricsaddr serves the benchmark dispatcher's
+// ops endpoint while sweeps run (and the async sweep's -json points
+// always carry histogram-derived hist_p50_us/hist_p99_us from the obs
+// registry next to the exact percentiles); -cpuprofile writes a pprof
+// CPU profile of the selected run.
 //
 // Usage:
 //
 //	amo-bench [-quick] [-only E3]
 //	amo-bench -throughput [-quick] [-backend mmap] [-json] [-cpuprofile FILE]
-//	amo-bench -async [-quick] [-backend mmap] [-json]
+//	amo-bench -async [-quick] [-backend mmap] [-json] [-metricsaddr :9091]
 //	amo-bench -priority [-quick] [-json]
+//	amo-bench -overhead [-quick] [-overheadtol 0.03]
 //	amo-bench -suite [-quick] [-pr N] > BENCH_N.json
 //	amo-bench -compare BENCH_N.json [-quick] [-tolerance 0.2]
 package main
@@ -74,18 +83,23 @@ func run(args []string) error {
 	compare := fs.String("compare", "", "perf gate: re-run the sweeps and diff against this committed BENCH_N.json, failing on regression")
 	tolerance := fs.Float64("tolerance", 0.20, "-compare regression tolerance as a fraction (0.20 = fail when a point is >20% slower)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the selected run to this file")
+	metricsaddr := fs.String("metricsaddr", "", "serve the benchmark dispatcher's ops endpoint (/metrics, /statsz, /tracez) on this address while sweeps run")
+	overhead := fs.Bool("overhead", false, "measure the observability layer's hot-path cost: interleaved metrics-on/off streaming reps, failing when the median regression exceeds -overheadtol")
+	overheadtol := fs.Float64("overheadtol", 0.03, "-overhead regression tolerance as a fraction (0.03 = fail when metrics-on throughput is >3% below metrics-off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	modes := 0
-	for _, on := range []bool{*throughput, *async, *priority, *suite, *compare != ""} {
+	for _, on := range []bool{*throughput, *async, *priority, *suite, *overhead, *compare != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-throughput, -async, -priority, -suite and -compare are mutually exclusive")
+		return fmt.Errorf("-throughput, -async, -priority, -suite, -overhead and -compare are mutually exclusive")
 	}
+	benchMetricsAddr = *metricsaddr
+	benchMetrics = *metricsaddr != ""
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -102,6 +116,9 @@ func run(args []string) error {
 	}
 	if *compare != "" {
 		return runCompare(*compare, *quick, *tolerance, *backend)
+	}
+	if *overhead {
+		return runOverhead(*quick, *overheadtol, *backend)
 	}
 	if *throughput {
 		return runThroughput(*quick, *asJSON, *backend)
@@ -157,6 +174,16 @@ func run(args []string) error {
 	}
 	return nil
 }
+
+// Observability wiring for benchmark dispatchers, set once by run()
+// before any sweep starts. benchMetrics enables the obs registry (the
+// async sweep always enables it: its -json points carry
+// histogram-derived quantiles); benchMetricsAddr additionally serves
+// the ops endpoint so a sweep in flight can be scraped.
+var (
+	benchMetrics     bool
+	benchMetricsAddr string
+)
 
 func mode(quick bool) string {
 	if quick {

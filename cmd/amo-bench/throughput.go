@@ -180,6 +180,8 @@ func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.Dispat
 		WorkersPerShard: sh.Workers,
 		MaxBatch:        sh.Batch,
 		Backend:         backend,
+		Metrics:         benchMetrics,
+		MetricsAddr:     benchMetricsAddr,
 		// Slack beyond the timed jobs: the warmup stream, plus each
 		// shard's possibly part-consumed leased id block.
 		MaxJobs: jobs + benchWarmup + 64*sh.Shards,

@@ -14,9 +14,16 @@
 // predecessor can never corrupt the registers (examples/failover runs
 // that end to end).
 //
+// With -metrics ADDR the server also exposes the process ops endpoint
+// (internal/obs/opshttp): Prometheus exposition of the netmem server
+// families — connections, per-op request counts, lease grants/renewals,
+// fenced-write rejections, bytes in/out — plus membackend counters at
+// /metrics, liveness at /healthz, a JSON snapshot at /statsz and
+// pprof at /debug/pprof/. See DESIGN.md §12.
+//
 // Usage:
 //
-//	amo-regd [-listen 127.0.0.1:7878] [-backend atomic|mmap:PATH|...] [-lease 2s] [-max-lease 1m] [-v]
+//	amo-regd [-listen 127.0.0.1:7878] [-backend atomic|mmap:PATH|...] [-lease 2s] [-max-lease 1m] [-metrics 127.0.0.1:9090] [-v]
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"time"
 
 	"atmostonce/internal/netmem"
+	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/opshttp"
 )
 
 func main() {
@@ -47,6 +56,7 @@ func run(args []string, ready chan<- string) error {
 	lease := fs.Duration("lease", 2*time.Second, "default writer-lease TTL granted to clients that do not ask for one")
 	maxLease := fs.Duration("max-lease", time.Minute, "upper bound on client-requested lease TTLs")
 	verbose := fs.Bool("v", false, "log connection, namespace and lease events")
+	metrics := fs.String("metrics", "", "serve the ops endpoint (/metrics, /healthz, /statsz, /debug/pprof/) on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +78,17 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	logf("amo-regd: listening on %s (backend %s, lease %s)", addr, *backend, *lease)
+	if *metrics != "" {
+		ops, err := opshttp.Serve(*metrics, opshttp.Options{
+			Registries: []*obs.Registry{obs.Default},
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer ops.Close()
+		logf("amo-regd: ops endpoint on %s", ops.Addr())
+	}
 	if ready != nil {
 		ready <- addr
 	}

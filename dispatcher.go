@@ -81,8 +81,31 @@ type DispatcherConfig struct {
 	// exhausted. Required when Backend is durable or wrapped; ignored for
 	// the in-process default.
 	MaxJobs int
-	// Expvar publishes the dispatcher's Stats via the expvar package
-	// (ExpvarName returns the variable name) for /debug/vars scraping.
+	// Metrics enables the dispatcher's metric registry (Registry,
+	// LatencyQuantiles). MetricsAddr, TraceSampleRate and Expvar each
+	// imply it.
+	Metrics bool
+	// MetricsAddr, when non-empty, binds the ops HTTP endpoint there
+	// (e.g. "127.0.0.1:9091", or ":0" for a kernel-chosen port reported
+	// by OpsAddr). It serves /metrics (Prometheus text exposition for
+	// the dispatcher, netmem and membackend families), /healthz,
+	// /statsz (Stats plus registry snapshot as JSON), /tracez (sampled
+	// job timelines) and /debug/pprof/*. The endpoint closes with the
+	// dispatcher.
+	MetricsAddr string
+	// TraceSampleRate samples per-job timelines: the fraction of job
+	// ids (deterministically hashed, 0..1) whose lifecycle events —
+	// Submitted, Queued, Stolen, Started, Journaled, Resolved, Expired,
+	// Recovered — are recorded into a bounded ring, dumpable at
+	// /tracez. 0 disables tracing.
+	TraceSampleRate float64
+	// Expvar publishes the dispatcher's metric registry snapshot via
+	// the expvar package (ExpvarName returns the variable name) for
+	// /debug/vars scraping.
+	//
+	// Deprecated: Expvar predates the obs registry and is kept as a
+	// thin adapter over it; new code should scrape the MetricsAddr
+	// endpoint instead.
 	Expvar bool
 }
 
@@ -185,17 +208,20 @@ func DefaultWorkersPerShard(shards int) int { return dispatch.DefaultWorkers(sha
 // worker pools.
 func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 	dcfg := dispatch.Config{
-		Shards:      cfg.Shards,
-		Workers:     cfg.WorkersPerShard,
-		Beta:        cfg.Beta,
-		MaxBatch:    cfg.MaxBatch,
-		QueueDepth:  cfg.QueueDepth,
-		Policy:      cfg.SubmitPolicy,
-		RoundTarget: cfg.RoundTarget,
-		Jitter:      cfg.Jitter,
-		Seed:        cfg.Seed,
-		CrashPlan:   cfg.CrashPlan,
-		Expvar:      cfg.Expvar,
+		Shards:          cfg.Shards,
+		Workers:         cfg.WorkersPerShard,
+		Beta:            cfg.Beta,
+		MaxBatch:        cfg.MaxBatch,
+		QueueDepth:      cfg.QueueDepth,
+		Policy:          cfg.SubmitPolicy,
+		RoundTarget:     cfg.RoundTarget,
+		Jitter:          cfg.Jitter,
+		Seed:            cfg.Seed,
+		CrashPlan:       cfg.CrashPlan,
+		Metrics:         cfg.Metrics,
+		MetricsAddr:     cfg.MetricsAddr,
+		TraceSampleRate: cfg.TraceSampleRate,
+		Expvar:          cfg.Expvar,
 	}
 	if cfg.Backend != "" && cfg.Backend != "atomic" {
 		spec := cfg.Backend
@@ -323,6 +349,21 @@ func (d *Dispatcher) Sync() error { return d.d.Sync() }
 // ExpvarName returns the name Stats is published under when
 // DispatcherConfig.Expvar is set, and "" otherwise.
 func (d *Dispatcher) ExpvarName() string { return d.d.ExpvarName() }
+
+// OpsAddr returns the bound address of the ops HTTP endpoint, and ""
+// when DispatcherConfig.MetricsAddr is unset. With a ":0" config it
+// carries the kernel-chosen port.
+func (d *Dispatcher) OpsAddr() string { return d.d.OpsAddr() }
+
+// LatencyQuantiles reads quantiles (each in [0,1]) off the sampled
+// submit→completion latency histogram — the same histogram /metrics
+// exposes as amo_dispatcher_submit_to_done_seconds. ok is false when
+// metrics are disabled or nothing has been sampled yet. Estimates
+// never undershoot the true quantile and overshoot by at most 12.5%
+// (the histogram's bucket width).
+func (d *Dispatcher) LatencyQuantiles(qs ...float64) ([]time.Duration, bool) {
+	return d.d.LatencyQuantiles(qs...)
+}
 
 // Stats returns a point-in-time snapshot of dispatcher progress.
 func (d *Dispatcher) Stats() DispatcherStats {

@@ -1,17 +1,29 @@
-// Quickstart: perform 1000 jobs on 8 workers with at-most-once semantics.
+// Quickstart: perform 1000 jobs with at-most-once semantics, twice —
+// first through the paper's one-shot Run API, then through the
+// streaming Dispatcher with the observability layer switched on.
 //
 // The library guarantees (Lemma 4.1) that no job runs twice, and
 // (Theorem 4.4) that at most β+m−2 = 2m−2 jobs are left unperformed even
 // under worst-case scheduling — here, with a healthy scheduler, the
 // remainder is usually far smaller.
 //
-// Run with: go run ./examples/quickstart
+// The dispatcher half doubles as the observability quickstart: with
+// AMO_METRICS_ADDR set it serves the ops endpoint (/metrics in
+// Prometheus text format, /healthz, /statsz, /tracez, /debug/pprof/)
+// and with AMO_METRICS_HOLD it stays alive that long so an external
+// scraper can pull a live exposition — CI does exactly that.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//	AMO_METRICS_ADDR=127.0.0.1:9091 AMO_METRICS_HOLD=30s go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"atmostonce"
 )
@@ -54,6 +66,46 @@ func run() error {
 	fmt.Printf("double runs:     %d (always 0)\n", doubles)
 	if doubles > 0 || summary.Duplicates > 0 {
 		return fmt.Errorf("at-most-once violated")
+	}
+
+	// The same workload through the streaming Dispatcher, with the
+	// observability layer on: the registry collects per-shard counters
+	// and latency/round histograms, and AMO_METRICS_ADDR additionally
+	// serves them over HTTP.
+	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
+		Shards:          2,
+		WorkersPerShard: 4,
+		Metrics:         true,
+		MetricsAddr:     os.Getenv("AMO_METRICS_ADDR"),
+		TraceSampleRate: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	var performed atomic.Int64
+	for i := 0; i < jobs; i++ {
+		if _, err := d.Submit(func() { performed.Add(1) }); err != nil {
+			return err
+		}
+	}
+	d.Flush()
+	st := d.Stats()
+	fmt.Printf("\nstreaming dispatcher: %d jobs in %d rounds, %d duplicates\n",
+		st.Performed, st.Rounds, st.Duplicates)
+	if qs, ok := d.LatencyQuantiles(0.5, 0.99); ok {
+		fmt.Printf("submit→done latency: p50 %s, p99 %s (1-in-16 sampled histogram)\n", qs[0], qs[1])
+	}
+	if st.Duplicates != 0 || performed.Load() != jobs {
+		return fmt.Errorf("dispatcher at-most-once violated: %+v", st)
+	}
+
+	if addr := d.OpsAddr(); addr != "" {
+		fmt.Printf("ops endpoint: http://%s/metrics\n", addr)
+		if hold, err := time.ParseDuration(os.Getenv("AMO_METRICS_HOLD")); err == nil && hold > 0 {
+			fmt.Printf("holding %s for scrapes...\n", hold)
+			time.Sleep(hold)
+		}
 	}
 	return nil
 }

@@ -2,30 +2,32 @@
 // the X-ray gun in an X-ray machine ... performing specific jobs
 // at-most-once may be of paramount importance for safety of patients".
 //
-// A treatment plan is a sequence of n radiation pulses. m redundant
-// controllers race to deliver them (redundancy matters: controllers can
-// crash mid-session), but delivering any single pulse TWICE would
-// overdose the patient. The at-most-once layer lets every controller try
-// every pulse while guaranteeing no pulse fires twice — even though two
-// controllers crash mid-run here.
+// A treatment plan is a sequence of n radiation pulses; delivering any
+// single pulse TWICE would overdose the patient. Here the plan runs on
+// the durable streaming Dispatcher: session 1 journals every pulse to
+// mmap register files (record-then-do) and dies mid-plan; session 2
+// reopens the same files, re-submits the whole plan, and the journal
+// resolves the already-delivered pulses as Recovered — the X-ray gun
+// never fires them again.
+//
+// Session 2 also runs with full trace sampling and an ops endpoint, so
+// the per-job timelines that prove it are observable: the example
+// fetches /tracez over HTTP and prints a recovered pulse's timeline
+// (submitted → recovered, no "started" — the payload never re-ran).
 //
 // Run with: go run ./examples/xraydispatch
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"atmostonce"
 )
-
-// pulse is one planned radiation exposure.
-type pulse struct {
-	fired   atomic.Int32
-	dosage  int // centigray
-	overlap bool
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -36,52 +38,141 @@ func main() {
 
 func run() error {
 	const (
-		pulses      = 600
-		controllers = 4
+		pulses   = 600
+		preCrash = 350 // pulses delivered before session 1 dies
 	)
-	plan := make([]pulse, pulses+1)
-	for i := range plan {
-		plan[i].dosage = 2 // uniform plan for the demo
-	}
-	var delivered atomic.Int64
-
-	// Controllers 2 and 3 fail mid-session after a few hundred actions —
-	// the remaining controllers absorb their share safely.
-	crashAfter := []uint64{0, 400, 900, 0}
-
-	summary, err := atmostonce.Run(
-		atmostonce.Config{
-			Jobs:       pulses,
-			Workers:    controllers,
-			CrashAfter: crashAfter,
-			Jitter:     true,
-			Seed:       2011, // PODC vintage
-		},
-		func(controller, p int) {
-			if plan[p].fired.Add(1) > 1 {
-				plan[p].overlap = true // double exposure — must never happen
-			}
-			delivered.Add(int64(plan[p].dosage))
-		},
-	)
+	dir, err := os.MkdirTemp("", "xraydispatch-*")
 	if err != nil {
 		return err
 	}
+	defer os.RemoveAll(dir)
 
-	overdoses := 0
-	for i := 1; i <= pulses; i++ {
-		if plan[i].overlap {
-			overdoses++
+	// fired counts real X-ray gun activations per pulse, across both
+	// sessions — any cell ever reaching 2 is a patient overdose.
+	var fired [pulses]atomic.Int32
+	plan := make([]func(), pulses)
+	for i := range plan {
+		i := i
+		plan[i] = func() { fired[i].Add(1) }
+	}
+	cfg := atmostonce.DispatcherConfig{
+		Shards:          2,
+		WorkersPerShard: 2,
+		Backend:         "mmap:" + filepath.Join(dir, "regs"),
+		MaxJobs:         2 * pulses,
+	}
+
+	// Session 1: the control host journals and delivers the first 350
+	// pulses, then loses power. The journal rows are already on disk —
+	// record-then-do means a recorded pulse either ran or never will.
+	d1, err := atmostonce.NewDispatcher(cfg)
+	if err != nil {
+		return err
+	}
+	// Single sequential submits in BOTH sessions: deterministic job ids
+	// come from deterministic submission order and placement, and that
+	// is what lets a restart re-submit the plan and line up with the
+	// journal (batch and single submission place jobs differently, so a
+	// restart must re-submit the way the dead session submitted).
+	for _, fn := range plan[:preCrash] {
+		if _, err := d1.Submit(fn); err != nil {
+			return err
 		}
 	}
-	fmt.Printf("controllers crashed:   %d of %d\n", summary.Crashed, controllers)
-	fmt.Printf("pulses delivered:      %d / %d\n", summary.Performed, pulses)
-	fmt.Printf("pulses undelivered:    %d (re-planned in the next session)\n", summary.Remaining)
-	fmt.Printf("total dose delivered:  %d cGy\n", delivered.Load())
-	fmt.Printf("double exposures:      %d\n", overdoses)
-	if overdoses > 0 {
+	d1.Flush()
+	if err := d1.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("session 1: delivered %d / %d pulses, then crashed\n", preCrash, pulses)
+
+	// Session 2: a replacement host reopens the register files and
+	// re-submits the ENTIRE plan — it does not need to know how far the
+	// dead session got. Full trace sampling + an ops endpoint make the
+	// recovery observable.
+	cfg.TraceSampleRate = 1
+	cfg.MetricsAddr = "127.0.0.1:0"
+	d2, err := atmostonce.NewDispatcher(cfg)
+	if err != nil {
+		return err
+	}
+	defer d2.Close()
+	var recovered atomic.Int32
+	var firstRecovered atomic.Uint64
+	for _, fn := range plan {
+		if _, err := d2.SubmitCallback(fn, func(r atmostonce.JobResult) {
+			if r.Recovered {
+				recovered.Add(1)
+				firstRecovered.CompareAndSwap(0, r.ID)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	d2.Flush()
+
+	overdoses := 0
+	undelivered := 0
+	for i := range fired {
+		switch n := fired[i].Load(); {
+		case n > 1:
+			overdoses++
+		case n == 0:
+			undelivered++
+		}
+	}
+	st := d2.Stats()
+	fmt.Printf("session 2: re-submitted all %d pulses; %d resolved from the journal (Recovered), %d delivered fresh\n",
+		pulses, recovered.Load(), pulses-int(recovered.Load())-undelivered)
+	fmt.Printf("pulses undelivered:  %d\n", undelivered)
+	fmt.Printf("double exposures:    %d\n", overdoses)
+
+	if err := printRecoveredTimeline(d2.OpsAddr(), firstRecovered.Load()); err != nil {
+		return err
+	}
+	if overdoses > 0 || st.Duplicates > 0 {
 		return fmt.Errorf("SAFETY VIOLATION: a pulse fired twice")
 	}
-	fmt.Println("at-most-once held: no patient overdose despite controller crashes")
+	if recovered.Load() != preCrash {
+		return fmt.Errorf("recovered %d pulses from the journal, want %d", recovered.Load(), preCrash)
+	}
+	fmt.Println("at-most-once held across the crash: no patient overdose")
 	return nil
+}
+
+// printRecoveredTimeline pulls /tracez from the session-2 ops endpoint
+// and prints the timeline of the given recovered pulse: the trace must
+// show it resolving straight from the journal, never "started".
+func printRecoveredTimeline(addr string, id uint64) error {
+	resp, err := http.Get("http://" + addr + "/tracez")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Jobs []struct {
+			ID     uint64 `json:"id"`
+			Events []struct {
+				Event string  `json:"event"`
+				Shard int32   `json:"shard"`
+				TUs   float64 `json:"t_us"`
+			} `json:"events"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return err
+	}
+	for _, j := range doc.Jobs {
+		if j.ID != id {
+			continue
+		}
+		fmt.Printf("\ntimeline of recovered pulse (job id %d, from /tracez):\n", j.ID)
+		for _, e := range j.Events {
+			fmt.Printf("  +%8.1fµs  %-9s (shard %d)\n", e.TUs, e.Event, e.Shard)
+			if e.Event == "started" {
+				return fmt.Errorf("recovered pulse has a started event — payload re-ran")
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("job %d not in /tracez at full sampling", id)
 }

@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/opshttp"
 )
 
 // Job is a unit of user work. The dispatcher invokes it at most once,
@@ -97,11 +99,35 @@ type Config struct {
 	// it sizes the durable journal rows, and Submit fails with
 	// ErrJournalFull beyond it. Required with NewMem, ignored without.
 	MaxJobs int
-	// Expvar publishes the dispatcher's Stats as an expvar variable
-	// ("atmostonce.dispatcher.<n>"; ExpvarName returns the exact name) so
-	// long-running deployments can scrape round/effectiveness/work
-	// counters from /debug/vars. The stdlib cannot unpublish a var, so
-	// after Close it keeps reporting the final snapshot.
+	// Metrics enables the dispatcher's obs registry: per-shard
+	// submit/round/steal/expiry counters, queue-depth and round-size
+	// gauges, and the round-duration, round-loss and sampled
+	// submit→completion histograms, all exposable in Prometheus text
+	// format (Registry, or the ops endpoint below). MetricsAddr, Expvar
+	// and a positive TraceSampleRate each imply it.
+	Metrics bool
+	// MetricsAddr, when non-empty, binds an ops HTTP endpoint
+	// (host:port; ":0" picks a free port, OpsAddr returns it) serving
+	// /metrics, /healthz, /statsz, /tracez and /debug/pprof/*. The
+	// endpoint exposes this dispatcher's registry alongside the
+	// process-global one (netmem, membackend) and closes with the
+	// dispatcher.
+	MetricsAddr string
+	// TraceSampleRate samples that fraction of job ids (deterministically
+	// by id hash, clamped to [0,1]) into a ring-buffered per-job event
+	// timeline — submitted→queued→(stolen|requeued)*→started→journaled→
+	// resolved, plus expired and recovered — dumpable at /tracez and via
+	// Tracer.
+	TraceSampleRate float64
+	// Expvar publishes the dispatcher's metric registry as an expvar
+	// variable ("atmostonce.dispatcher.<n>"; ExpvarName returns the
+	// exact name) on /debug/vars.
+	//
+	// Deprecated: Expvar is now a thin adapter over the obs registry —
+	// the same name→value map /statsz serves — kept working the way the
+	// v1 submit wrappers are. New code should set MetricsAddr (or read
+	// Registry directly). The stdlib cannot unpublish a var, so after
+	// Close it keeps reporting the final snapshot.
 	Expvar bool
 }
 
@@ -192,6 +218,15 @@ func (c *Config) normalize() error {
 	if c.RoundTarget == 0 {
 		c.RoundTarget = DefaultRoundTarget
 	}
+	if c.TraceSampleRate < 0 {
+		c.TraceSampleRate = 0
+	}
+	if c.TraceSampleRate > 1 {
+		c.TraceSampleRate = 1
+	}
+	if c.MetricsAddr != "" || c.TraceSampleRate > 0 || c.Expvar {
+		c.Metrics = true
+	}
 	return nil
 }
 
@@ -278,6 +313,22 @@ type Dispatcher struct {
 
 	expvarName string
 
+	// Observability (see obs.go): reg is the dispatcher's metric
+	// registry (nil with Metrics off), the three histograms are its only
+	// push-style instruments, tr is the sampled job tracer and ops the
+	// endpoint bound to Config.MetricsAddr.
+	reg          *obs.Registry
+	roundHist    *obs.Histogram
+	latHist      *obs.Histogram
+	lossHist     *obs.Histogram
+	recoveryHist *obs.Histogram
+	tr           *obs.Tracer
+	ops          *opshttp.Server
+	// latBase anchors entry.t0 latency stamps (latStamp): Unix
+	// nanoseconds at construction, so stamps stay small and a uint32 of
+	// microseconds is enough for wrap-safe submit→done deltas.
+	latBase int64
+
 	// closeMu makes submission all-or-nothing with respect to Close:
 	// submitters hold the read side across their closed-check and enqueue,
 	// and Close takes the write side after flipping closed, so a batch is
@@ -299,10 +350,12 @@ func New(cfg Config) (*Dispatcher, error) {
 		return nil, err
 	}
 	d := &Dispatcher{cfg: cfg, start: time.Now()}
+	d.latBase = d.start.UnixNano()
 	d.cond = sync.NewCond(&d.mu)
 	d.counts = make([]shardCount, cfg.Shards)
 	d.shards = make([]*shard, cfg.Shards)
 	d.recovered = make(map[uint64]struct{})
+	d.setupObs()
 	for i := range d.shards {
 		s, rec, err := newShard(d, i)
 		if err != nil {
@@ -314,14 +367,26 @@ func New(cfg Config) (*Dispatcher, error) {
 			return nil, err
 		}
 		d.shards[i] = s
+		d.registerShardObs(s)
 		for _, id := range rec {
 			d.recovered[id] = struct{}{}
 		}
 	}
 	d.recLeft.Store(int64(len(d.recovered)))
 	if cfg.Expvar {
+		// Legacy adapter: the expvar blob is the registry's name→value
+		// snapshot — the exact map /statsz serves — so there is one
+		// source of metric truth no matter which door it leaves through.
 		d.expvarName = fmt.Sprintf("atmostonce.dispatcher.%d", expvarSeq.Add(1))
-		expvar.Publish(d.expvarName, expvar.Func(func() any { return d.Stats() }))
+		expvar.Publish(d.expvarName, expvar.Func(func() any { return d.reg.Snapshot() }))
+	}
+	if err := d.startOps(); err != nil {
+		for _, s := range d.shards {
+			s.stop()
+			s.rt.Close()
+			s.closeBackend()
+		}
+		return nil, err
 	}
 	for _, s := range d.shards {
 		go s.loop()
@@ -455,6 +520,9 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 		return 0, err
 	}
 	s.count.submitted.Add(1)
+	if d.tr != nil {
+		d.tr.Record(id, obs.TraceSubmitted, s.id)
+	}
 	if d.resolveRecovered(id) {
 		// A previous incarnation performed this job; resolve it without
 		// re-running the payload (the at-most-once guarantee across
@@ -463,6 +531,10 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 			s.unreserve(1)
 		}
 		d.recoveredN.Add(1)
+		if d.tr != nil {
+			d.tr.Record(id, obs.TraceRecovered, s.id)
+			d.tr.Record(id, obs.TraceResolved, s.id)
+		}
 		if done != nil {
 			done(JobResult{ID: id, Recovered: true})
 		}
@@ -473,6 +545,12 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 		d.waiters.add(id, done)
 	}
 	e.id = id
+	if d.latHist != nil && id&latSampleMask == 0 {
+		e.t0 = d.latStamp(time.Now().UnixNano())
+	}
+	if d.tr != nil {
+		d.tr.Record(id, obs.TraceQueued, s.id)
+	}
 	s.enqueueOne(e, bounded)
 	return id, nil
 }
@@ -541,6 +619,10 @@ func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry
 	for _, c := range plan {
 		c.s.count.submitted.Add(uint64(c.hi - c.lo))
 	}
+	var stamp uint32 // one submit stamp for the whole batch's samples (0 = off)
+	if d.latHist != nil {
+		stamp = d.latStamp(time.Now().UnixNano())
+	}
 	if d.recLeft.Load() > 0 {
 		// Recovery is draining: filter out the jobs a previous
 		// incarnation already performed, chunk by chunk, and enqueue the
@@ -557,8 +639,15 @@ func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry
 				if doneAt != nil {
 					done = doneAt(i)
 				}
+				if d.tr != nil {
+					d.tr.Record(id, obs.TraceSubmitted, c.s.id)
+				}
 				if d.resolveRecovered(id) {
 					skipped++
+					if d.tr != nil {
+						d.tr.Record(id, obs.TraceRecovered, c.s.id)
+						d.tr.Record(id, obs.TraceResolved, c.s.id)
+					}
 					if doneAt != nil {
 						done(JobResult{ID: id, Recovered: true})
 					}
@@ -568,6 +657,12 @@ func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry
 					}
 					e := entryAt(i)
 					e.id = id
+					if stamp != 0 && id&latSampleMask == 0 {
+						e.t0 = stamp
+					}
+					if d.tr != nil {
+						d.tr.Record(id, obs.TraceQueued, c.s.id)
+					}
 					buf = append(buf, e)
 				}
 			}
@@ -592,9 +687,21 @@ func (d *Dispatcher) doBatch(ctx context.Context, n int, entryAt func(int) entry
 		}
 	}
 	for _, c := range plan {
+		if d.tr != nil {
+			// Queued is recorded before the feed so it can never appear
+			// after the round that starts the job.
+			for i := c.lo; i < c.hi; i++ {
+				id := first + uint64(i)
+				d.tr.Record(id, obs.TraceSubmitted, c.s.id)
+				d.tr.Record(id, obs.TraceQueued, c.s.id)
+			}
+		}
 		c.s.feed(c.hi-c.lo, func(i int) entry {
 			e := entryAt(c.lo + i)
 			e.id = first + uint64(c.lo+i)
+			if stamp != 0 && e.id&latSampleMask == 0 {
+				e.t0 = stamp
+			}
 			return e
 		}, failFast)
 	}
@@ -719,6 +826,13 @@ func (d *Dispatcher) Close() error {
 	for _, s := range d.shards {
 		s.rt.Close()
 		if e := s.closeBackend(); err == nil {
+			err = e
+		}
+	}
+	// The ops endpoint outlives the drain (a scrape may watch the
+	// shutdown) and dies with the dispatcher.
+	if d.ops != nil {
+		if e := d.ops.Close(); err == nil {
 			err = e
 		}
 	}
@@ -897,10 +1011,7 @@ func (d *Dispatcher) Stats() Stats {
 	}
 	st.Pending = st.Submitted - performed
 	for i, s := range d.shards {
-		s.mu.Lock()
-		st.Shards[i] = s.stats
-		st.Shards[i].QueueDepth = s.q.len()
-		s.mu.Unlock()
+		st.Shards[i] = s.snapshotStats()
 		st.Expired += st.Shards[i].Expired
 		st.Rounds += st.Shards[i].Rounds
 		st.Residue += st.Shards[i].Residue

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"atmostonce/internal/core"
 	"atmostonce/internal/membackend"
@@ -83,6 +84,7 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 			return nil, fmt.Errorf("dispatch: shard %d register file was written by a different configuration (fingerprint %#x, want %#x); use the original Shards/Workers/MaxBatch/MaxJobs or start from a fresh file",
 				s.id, got, fp)
 		}
+		scan0 := time.Now()
 		for p := 1; p <= m; p++ {
 			n, err := s.scanJournalRow(p, &recovered)
 			if err != nil {
@@ -98,6 +100,9 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 		if err := s.zeroWindow(jbase, size); err != nil {
 			b.Close()
 			return nil, fmt.Errorf("dispatch: shard %d window reset: %w", s.id, err)
+		}
+		if s.d.recoveryHist != nil {
+			s.d.recoveryHist.Observe(uint64(time.Since(scan0)))
 		}
 	} else {
 		b.Write(0, fp)
@@ -198,4 +203,5 @@ func (s *shard) journal(p int, id uint64) {
 		s.mem.Write(s.jaddr(p, idx), int64(id))
 	}
 	s.jcur[p-1] = idx + 1
+	s.journaled.Add(1)
 }

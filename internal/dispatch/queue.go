@@ -19,6 +19,17 @@ type entry struct {
 	fn  func(context.Context) error
 	dl  int64
 	pri Priority
+	// t0 is the submit stamp of jobs sampled into the submit→completion
+	// latency histogram (Dispatcher.latStamp: microseconds since the
+	// dispatcher started, truncated to 32 bits; 0 = unsampled). It rides
+	// the entry through requeues and steals, so the recorded latency is
+	// wall time from submission to final resolution. A uint32 in the
+	// padding hole after pri keeps entry at 56 bytes — growing it to 64
+	// measurably slows the multi-shard round path (entries are copied
+	// through rings, batches and steals), which is exactly the overhead
+	// this layer promises not to add. Wrap-safe uint32 subtraction at
+	// resolution means only latencies beyond ~71 minutes alias.
+	t0  uint32
 	err error
 }
 

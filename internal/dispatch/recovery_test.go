@@ -522,7 +522,8 @@ func TestRecoverOverNetwork(t *testing.T) {
 	}
 }
 
-// TestExpvar: opt-in Stats publishing for scrapers.
+// TestExpvar: the legacy expvar knob is now a thin adapter over the obs
+// registry — one source of truth, registry-style keys.
 func TestExpvar(t *testing.T) {
 	d, err := New(Config{Shards: 1, Workers: 2, Expvar: true})
 	if err != nil {
@@ -532,6 +533,9 @@ func TestExpvar(t *testing.T) {
 	name := d.ExpvarName()
 	if name == "" {
 		t.Fatal("Expvar set but ExpvarName is empty")
+	}
+	if d.Registry() == nil {
+		t.Fatal("Expvar no longer implies Metrics")
 	}
 	v := expvar.Get(name)
 	if v == nil {
@@ -544,7 +548,12 @@ func TestExpvar(t *testing.T) {
 	}
 	d.Flush()
 	out := v.String()
-	for _, field := range []string{`"Submitted":10`, `"Performed":10`, `"Rounds"`, `"Work"`} {
+	for _, field := range []string{
+		`"amo_dispatcher_submitted_jobs_total{shard=\"0\"}":10`,
+		`"amo_dispatcher_performed_jobs_total{shard=\"0\"}":10`,
+		`"amo_dispatcher_rounds_total{shard=\"0\"}"`,
+		`"amo_dispatcher_round_duration_seconds"`,
+	} {
 		if !strings.Contains(out, field) {
 			t.Errorf("expvar output missing %s: %s", field, out)
 		}

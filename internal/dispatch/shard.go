@@ -4,10 +4,12 @@ import (
 	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atmostonce/internal/conc"
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs"
 	"atmostonce/internal/shmem"
 )
 
@@ -84,6 +86,14 @@ type shard struct {
 	ewmaPerJob float64
 	lastTaken  int
 
+	// Observability mirrors (see obs.go): lastTakenA shadows lastTaken
+	// atomically so the round-size gauge never races the loop goroutine;
+	// journaled counts journal rows for the journal-writes counter
+	// (jcur holds the same totals but is written lock-free by workers,
+	// so a scrape cannot read it).
+	lastTakenA atomic.Int64
+	journaled  atomic.Uint64
+
 	stealBuf []entry     // scratch for work-stealing transfers
 	doneRes  []JobResult // scratch: results of this round, for waiter resolution
 	dueBuf   []entry     // scratch: deadline-due entries pulled at round assembly
@@ -158,6 +168,20 @@ func (s *shard) leaseID() (uint64, error) {
 	return id, nil
 }
 
+// snapshotStats copies the shard's counters and its queue depth inside
+// ONE critical section of s.mu. Every reader of per-shard state —
+// Stats(), the obs gauge/counter funcs, and through them the expvar
+// adapter — goes through this lock, so a snapshot can never pair a
+// stale QueueDepth with fresher round counters (or vice versa): the
+// depth is exactly the queue the counters describe.
+func (s *shard) snapshotStats() ShardStats {
+	s.mu.Lock()
+	st := s.stats
+	st.QueueDepth = s.q.len()
+	s.mu.Unlock()
+	return st
+}
+
 // jobsDone publishes n resolved jobs (performed, expired or recovered)
 // on this shard's padded counter and wakes parked Flush callers, if any.
 func (s *shard) jobsDone(n int) {
@@ -175,8 +199,15 @@ func (s *shard) jobsDone(n int) {
 // in the entry for finishRound to deliver; v1 payloads run bare.
 func (s *shard) exec(worker, local int) {
 	e := &s.batch[local-1]
+	tr := s.d.tr
+	if tr != nil && (e.fn0 != nil || e.fn != nil) {
+		tr.Record(e.id, obs.TraceStarted, s.id)
+	}
 	if s.durable && (e.fn0 != nil || e.fn != nil) {
 		s.journal(worker, e.id)
+		if tr != nil {
+			tr.Record(e.id, obs.TraceJournaled, s.id)
+		}
 	}
 	switch {
 	case e.fn0 != nil:
@@ -444,6 +475,13 @@ func (s *shard) observeRound(n, k int, dur time.Duration) {
 	} else {
 		s.ewmaPerJob = 0.75*s.ewmaPerJob + 0.25*per
 	}
+	if s.d.roundHist != nil {
+		// The round histogram reuses the duration the controller already
+		// measured — instrumentation adds one record per round, not one
+		// per job.
+		s.d.roundHist.Observe(uint64(dur))
+		s.lastTakenA.Store(int64(n))
+	}
 }
 
 // promoWindow is the deadline-promotion lookahead at round assembly,
@@ -541,6 +579,7 @@ func (s *shard) takeBatch() int {
 		if nExp > 0 {
 			// Each expired job resolves exactly once, outside the lock,
 			// and counts toward Flush like any other resolution.
+			s.traceExpired(s.expired)
 			s.d.waiters.resolveResults(s.expired, &s.cbBuf)
 			s.jobsDone(nExp)
 		}
@@ -682,6 +721,11 @@ func (s *shard) stealWork() int {
 	}
 	victim.mu.Unlock()
 	buf := s.stealBuf[:k]
+	if tr := s.d.tr; tr != nil {
+		for _, e := range buf {
+			tr.Record(e.id, obs.TraceStolen, s.id)
+		}
+	}
 	s.mu.Lock()
 	if s.depth > 0 {
 		s.reserved -= max
@@ -726,18 +770,30 @@ func (s *shard) crashVector(round int) []uint64 {
 // resolution outside the lock.
 func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []JobResult) {
 	collect := s.d.waiters.active()
+	latOn := s.d.latHist != nil
+	tr := s.d.tr
 	s.mu.Lock()
 	requeued := 0
 	for i := len(res.Unperformed) - 1; i >= 0; i-- {
 		if local := res.Unperformed[i]; local <= n {
 			s.q.pushFront(s.batch[local-1])
+			if tr != nil {
+				tr.Record(s.batch[local-1].id, obs.TraceRequeued, s.id)
+			}
 			requeued++
 		}
 	}
 	var doneRes []JobResult
-	if collect && requeued < n {
+	if (collect || latOn || tr != nil) && requeued < n {
 		// The performed slots are 1..n minus the (ascending) unperformed
-		// list; walk the two in lockstep.
+		// list; walk the two in lockstep. One wall-clock read covers the
+		// whole round's latency samples: resolution happens here, so the
+		// per-entry spread inside a round is below the histogram's own
+		// bucket error.
+		var end uint32
+		if latOn {
+			end = s.d.latStamp(time.Now().UnixNano())
+		}
 		s.doneRes = s.doneRes[:0]
 		ui := 0
 		for local := 1; local <= n; local++ {
@@ -746,9 +802,26 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []JobResult) {
 				continue
 			}
 			e := &s.batch[local-1]
-			s.doneRes = append(s.doneRes, JobResult{ID: e.id, Err: e.err})
+			if latOn && e.t0 != 0 {
+				// Wrap-safe uint32 subtraction (see entry.t0); a clamp
+				// catches the rare sample whose stamps straddle the 0→1
+				// nudge or a wall-clock step backwards.
+				dus := end - e.t0
+				if dus > 1<<31 {
+					dus = 0
+				}
+				s.d.latHist.Observe(uint64(dus) * 1000)
+			}
+			if tr != nil {
+				tr.Record(e.id, obs.TraceResolved, s.id)
+			}
+			if collect {
+				s.doneRes = append(s.doneRes, JobResult{ID: e.id, Err: e.err})
+			}
 		}
-		doneRes = s.doneRes
+		if collect {
+			doneRes = s.doneRes
+		}
 	}
 	// The round's slots are resolved: residue went back to the queue,
 	// the rest are free for parked submitters.
@@ -768,5 +841,11 @@ func (s *shard) finishRound(n int, res *conc.RoundResult) (int, []JobResult) {
 	s.stats.LastPerformed = performed
 	s.stats.EffHist[effBucket(performed, n)]++
 	s.mu.Unlock()
+	if s.d.lossHist != nil {
+		// Effectiveness loss of this round in ppm: 0 for a perfect round,
+		// 1e6 would mean nothing performed (impossible — KKβ guarantees
+		// n - m + 1 per round).
+		s.d.lossHist.Observe(uint64(requeued) * 1_000_000 / uint64(n))
+	}
 	return performed, doneRes
 }

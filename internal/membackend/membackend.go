@@ -170,7 +170,11 @@ func Open(spec string, size int) (Backend, error) {
 		return nil, fmt.Errorf("membackend: unknown backend %q in spec %q%s (have %s)",
 			kind, spec, hint, strings.Join(Kinds(), ", "))
 	}
-	return open(arg, size)
+	b, err := open(arg, size)
+	if err == nil {
+		obsOpened(kind)
+	}
+	return b, err
 }
 
 // parseSpec splits a spec into kind and argument, rejecting the

@@ -1,0 +1,27 @@
+package membackend
+
+import "atmostonce/internal/obs"
+
+// Metric families for the register backends, in obs.Default (process
+// scope: backends are shared infrastructure, not per-dispatcher). The
+// common kinds are pre-registered at init so the amo_membackend_*
+// families appear in the first scrape of any binary, zero-valued until
+// backends open. The journal-write counter and recovery-scan histogram
+// of the same family live with the dispatcher, which owns that state.
+var mbSyncs *obs.Counter
+
+func init() {
+	r := obs.Default
+	for _, kind := range []string{"atomic", "mmap"} {
+		r.Counter("amo_membackend_opens_total",
+			"Backends opened via the spec registry, by kind.", "kind", kind)
+	}
+	mbSyncs = r.Counter("amo_membackend_syncs_total",
+		"Explicit flushes to stable storage (msync on mmap backends).")
+}
+
+// obsOpened accounts one successful Open of the given kind.
+func obsOpened(kind string) {
+	obs.Default.Counter("amo_membackend_opens_total",
+		"Backends opened via the spec registry, by kind.", "kind", kind).Inc()
+}

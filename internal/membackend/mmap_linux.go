@@ -186,6 +186,7 @@ func (m *MmapMem) Sync() error {
 	if err := msync(m.data); err != nil {
 		return fmt.Errorf("membackend: msync %s: %w", m.path, err)
 	}
+	mbSyncs.Inc()
 	return nil
 }
 

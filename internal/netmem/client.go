@@ -275,6 +275,9 @@ func (m *NetMem) connect(first bool) error {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	if !first {
+		cliReconnects.Inc()
+	}
 	go m.readLoop(gen, br)
 	return nil
 }
@@ -449,6 +452,10 @@ const flushThreshold = 32 << 10
 // redialer rather than failing: reconnection is the client's job, not
 // the caller's.
 func (m *NetMem) send(op *pendingOp) error {
+	var t0 time.Time
+	if op.done != nil {
+		t0 = time.Now()
+	}
 	m.mu.Lock()
 	for {
 		if m.fatal != nil {
@@ -475,7 +482,9 @@ func (m *NetMem) send(op *pendingOp) error {
 	}
 	op.seq = m.nextSeqLocked()
 	m.outstanding = append(m.outstanding, op)
-	if err := writeFrame(m.bw, op.op, op.seq, m.encodeLocked(op)); err != nil {
+	payload := m.encodeLocked(op)
+	obsClientQueued(op.op, len(payload))
+	if err := writeFrame(m.bw, op.op, op.seq, payload); err != nil {
 		m.breakConnLocked(err)
 	} else if op.done != nil || m.bw.Buffered() > flushThreshold {
 		if err := m.bw.Flush(); err != nil {
@@ -487,6 +496,7 @@ func (m *NetMem) send(op *pendingOp) error {
 		return nil
 	}
 	<-op.done
+	obsClientRPC(op.op, time.Since(t0))
 	return op.err
 }
 
@@ -501,6 +511,7 @@ func (m *NetMem) readLoop(gen uint64, br *bufio.Reader) {
 			m.breakConn(gen, err)
 			return
 		}
+		cliBytesIn.Add(frameBytes(len(payload)))
 		if fatal := m.deliver(gen, op, seq, payload); fatal != nil {
 			m.fatalize(fatal)
 			return
@@ -711,6 +722,10 @@ func (m *NetMem) fatalize(err error) {
 		return
 	}
 	m.fatal = err
+	cliFatal.Inc()
+	if errors.Is(err, ErrFenced) {
+		cliFenced.Inc()
+	}
 	if m.conn != nil {
 		m.conn.Close()
 		m.conn, m.bw = nil, nil

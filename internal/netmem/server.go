@@ -337,6 +337,8 @@ func (e *wireError) Error() string { return fmt.Sprintf("netmem: server error %d
 // lease wait.
 func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
+	srvConns.Add(1)
+	defer srvConns.Add(-1)
 	defer func() {
 		c.Close()
 		s.mu.Lock()
@@ -351,9 +353,13 @@ func (s *Server) handle(c net.Conn) {
 		ns      *namespace
 	)
 	reply := func(seq uint32, op byte, payload []byte) bool {
+		srvBytesOut.Add(frameBytes(len(payload)))
 		return writeFrame(bw, op, seq, payload) == nil
 	}
 	replyErr := func(seq uint32, we *wireError) bool {
+		if we.code == codeFenced {
+			srvFencedRejs.Inc()
+		}
 		scratch = scratch[:0]
 		scratch = appendU16(scratch, we.code)
 		scratch = appendStr(scratch, we.msg)
@@ -371,6 +377,7 @@ func (s *Server) handle(c net.Conn) {
 			bw.Flush()
 			return
 		}
+		obsServerReq(op, len(payload))
 		d := decoder{b: payload}
 		ok := true
 		switch op {
@@ -449,6 +456,7 @@ func (s *Server) handle(c net.Conn) {
 				}
 				break
 			}
+			srvAcquires.Inc()
 			scratch = scratch[:0]
 			scratch = appendU64(scratch, epoch)
 			scratch = appendU64(scratch, uint64(granted/time.Millisecond))
@@ -473,6 +481,7 @@ func (s *Server) handle(c net.Conn) {
 				ok = replyErr(seq, werr)
 				break
 			}
+			srvRenews.Inc()
 			ok = reply(seq, opAck, nil)
 
 		case opRelease:

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout. Values below histExact get one exact bucket
+// each; above that, every power-of-two octave is split into 2^histSubBits
+// sub-buckets of equal width, so a bucket's width is at most 1/8 of its
+// lower bound and any quantile read from a bucket's upper bound
+// overshoots the true sample by at most 12.5% (histMaxRelErr). The
+// layout is closed under merge — two histograms recorded independently
+// have identical bucket boundaries — which is what makes per-shard or
+// per-process snapshots mergeable by plain vector addition.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histExact   = 2 * histSub      // values < histExact get exact buckets
+	// Octaves for bit lengths 5..64 (values ≥ 16), histSub buckets each.
+	histBuckets = histExact + (64-4)*histSub
+
+	// histMaxRelErr bounds Quantile's overshoot: upper/lower of any
+	// log bucket is < 1 + 1/histSub = 1.125.
+	histMaxRelErr = 1.0 / histSub
+)
+
+// bucketOf maps a recorded value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histExact {
+		return int(v)
+	}
+	hi := bits.Len64(v)                // ≥ 5
+	sub := v >> (hi - 1 - histSubBits) // in [histSub, 2·histSub)
+	return histExact + (hi-5)*histSub + int(sub) - histSub
+}
+
+// BucketUpper returns the largest value that lands in bucket i — the
+// inclusive upper bound used as the Prometheus `le` label and as the
+// Quantile estimate.
+func BucketUpper(i int) uint64 {
+	if i < histExact {
+		return uint64(i)
+	}
+	oct := (i - histExact) / histSub
+	sub := uint64((i-histExact)%histSub) + histSub
+	width := uint64(1) << (oct + 1)
+	return sub<<(oct+1) + width - 1
+}
+
+// Histogram is a fixed-shape log-bucketed histogram of uint64 samples
+// (typically nanoseconds; Scale converts to exposition units). Record
+// is two atomic adds and is safe for concurrent use. The count/sum pair
+// sits on its own cache line ahead of the bucket array so the hottest
+// words never false-share with whatever the registry allocates next.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	_     [48]byte
+	b     [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.b[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram's state. Concurrent Observes may be
+// torn across count/sum/buckets by at most the records in flight; the
+// snapshot is internally consistent enough for quantiles and merging.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.b {
+		s.Buckets[i] = h.b[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, mergeable with
+// any other snapshot (the bucket layout is fixed package-wide).
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Merge folds o into s. Merging is bucket-wise addition, so it is
+// commutative and associative: shard snapshots can be combined in any
+// grouping and yield the same aggregate.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the upper bound
+// of the bucket holding the ⌈q·count⌉-th smallest sample. The estimate
+// never undershoots the true sample and overshoots it by at most
+// histMaxRelErr (12.5%); values below histExact are exact. Returns 0
+// for an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}

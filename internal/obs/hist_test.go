@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries: every value lands in a bucket whose bounds
+// contain it, bucket indexes are monotone in the value, and the
+// exact-bucket region is exact.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact region: bucket index == value == upper bound.
+	for v := uint64(0); v < histExact; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact bucket", v, got)
+		}
+		if up := BucketUpper(int(v)); up != v {
+			t.Fatalf("BucketUpper(%d) = %d, want %d", v, up, v)
+		}
+	}
+	// Log region: sweep powers of two ± 1 and random values; the
+	// containing bucket's upper bound must be ≥ v and the previous
+	// bucket's upper bound < v.
+	check := func(v uint64) {
+		i := bucketOf(v)
+		if up := BucketUpper(i); up < v {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, i, up)
+		}
+		if i > 0 {
+			if up := BucketUpper(i - 1); up >= v {
+				t.Fatalf("value %d at or below bucket %d's predecessor bound %d", v, i, up)
+			}
+		}
+	}
+	for shift := 4; shift < 64; shift++ {
+		v := uint64(1) << shift
+		check(v - 1)
+		check(v)
+		check(v + 1)
+	}
+	check(^uint64(0)) // MaxUint64 must fit in the last bucket
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		check(rng.Uint64() >> uint(rng.Intn(60)))
+	}
+	// Monotonicity across consecutive bucket uppers.
+	prev := BucketUpper(0)
+	for i := 1; i < histBuckets; i++ {
+		up := BucketUpper(i)
+		if up <= prev {
+			t.Fatalf("BucketUpper not strictly increasing at %d: %d then %d", i, prev, up)
+		}
+		// Width bound: relative error of the upper bound vs the bucket's
+		// smallest member is ≤ histMaxRelErr.
+		lo := prev + 1
+		if float64(up-lo) > histMaxRelErr*float64(lo) {
+			t.Fatalf("bucket %d too wide: [%d,%d]", i, lo, up)
+		}
+		prev = up
+	}
+}
+
+// TestHistogramMergeAssociative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and both
+// equal recording all samples into one histogram.
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var hs [3]Histogram
+	var all Histogram
+	for i := range hs {
+		for j := 0; j < 1000; j++ {
+			v := rng.Uint64() >> uint(rng.Intn(50))
+			hs[i].Observe(v)
+			all.Observe(v)
+		}
+	}
+	left := hs[0].Snapshot()
+	left.Merge(hs[1].Snapshot())
+	left.Merge(hs[2].Snapshot())
+	right := hs[2].Snapshot()
+	mid := hs[1].Snapshot()
+	mid.Merge(right)
+	first := hs[0].Snapshot()
+	first.Merge(mid)
+	want := all.Snapshot()
+	if left != want || first != want {
+		t.Fatal("merge is not associative or loses samples")
+	}
+}
+
+// TestHistogramConcurrent: concurrent Observe loses nothing (run under
+// -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Uint64() >> 32)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, n := range snap.Buckets {
+		sum += n
+	}
+	if sum != snap.Count {
+		t.Fatalf("bucket total %d != count %d", sum, snap.Count)
+	}
+}
+
+// TestQuantileErrorBound: against exact sorted samples, the histogram
+// quantile never undershoots and overshoots by at most histMaxRelErr.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(5000)
+		samples := make([]uint64, n)
+		for i := range samples {
+			// Mix magnitudes: exact region, mid-range, huge.
+			switch rng.Intn(3) {
+			case 0:
+				samples[i] = uint64(rng.Intn(histExact))
+			case 1:
+				samples[i] = uint64(rng.Intn(1_000_000))
+			default:
+				samples[i] = rng.Uint64() >> uint(rng.Intn(40))
+			}
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(q * float64(n))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			exact := samples[rank-1]
+			est := snap.Quantile(q)
+			if est < exact {
+				t.Fatalf("trial %d q=%v: estimate %d undershoots exact %d", trial, q, est, exact)
+			}
+			if float64(est-exact) > histMaxRelErr*float64(exact) {
+				t.Fatalf("trial %d q=%v: estimate %d exceeds exact %d by more than %.1f%%",
+					trial, q, est, exact, 100*histMaxRelErr)
+			}
+		}
+	}
+}
+
+// TestQuantileEmpty: an empty snapshot reports 0.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	snap := h.Snapshot()
+	if got := snap.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}

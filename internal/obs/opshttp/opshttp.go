@@ -1,0 +1,146 @@
+// Package opshttp is the engine's ops endpoint: a small HTTP mux over
+// one or more obs registries serving Prometheus exposition (/metrics),
+// liveness (/healthz), a JSON stats snapshot (/statsz), sampled job
+// timelines (/tracez) and the stdlib profiler (/debug/pprof/*). The
+// Dispatcher mounts it when DispatcherConfig.MetricsAddr is set, and
+// amo-regd reuses the same mux behind its -metrics flag.
+package opshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"atmostonce/internal/obs"
+)
+
+// Options configures the mux.
+type Options struct {
+	// Registries are exposed, concatenated, at /metrics (and as
+	// name→value maps at /statsz). Families must not repeat across
+	// registries.
+	Registries []*obs.Registry
+	// Statsz, when non-nil, contributes a "stats" object to /statsz —
+	// the Dispatcher passes its Stats() here.
+	Statsz func() any
+	// Healthz, when non-nil, gates /healthz: a non-nil error answers
+	// 503 with the error text. nil means always healthy.
+	Healthz func() error
+	// Tracer, when non-nil, serves sampled job timelines at /tracez.
+	Tracer *obs.Tracer
+}
+
+// NewMux builds the ops mux.
+func NewMux(o Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range o.Registries {
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if o.Healthz != nil {
+			if err := o.Healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		doc := make(map[string]any)
+		metrics := make(map[string]any)
+		for _, reg := range o.Registries {
+			for k, v := range reg.Snapshot() {
+				metrics[k] = v
+			}
+		}
+		doc["metrics"] = metrics
+		if o.Statsz != nil {
+			doc["stats"] = o.Statsz()
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, tracezDoc(o.Tracer))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// tracezEvent and tracezJob are the stable /tracez JSON shape; t_us is
+// microseconds since the job's first recorded event.
+type tracezEvent struct {
+	Event string  `json:"event"`
+	Shard int32   `json:"shard"`
+	TUs   float64 `json:"t_us"`
+}
+
+type tracezJob struct {
+	ID     uint64        `json:"id"`
+	Events []tracezEvent `json:"events"`
+}
+
+func tracezDoc(tr *obs.Tracer) map[string]any {
+	jobs := []tracezJob{}
+	if tr != nil {
+		for _, tl := range tr.Timelines() {
+			j := tracezJob{ID: tl.ID, Events: make([]tracezEvent, len(tl.Events))}
+			t0 := tl.Events[0].TS
+			for i, e := range tl.Events {
+				j.Events[i] = tracezEvent{
+					Event: e.Event.String(),
+					Shard: e.Shard,
+					TUs:   float64(e.TS-t0) / 1e3,
+				}
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return map[string]any{"jobs": jobs}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a listening ops endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// ops mux on it until Close.
+func Serve(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("opshttp: %w", err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: NewMux(o), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

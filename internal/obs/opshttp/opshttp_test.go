@@ -1,0 +1,150 @@
+package opshttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atmostonce/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServeEndpoints: every route answers, /metrics parses as valid
+// exposition, /statsz and /tracez are valid JSON with the expected
+// shape, and /healthz reflects the health func.
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("amo_test_jobs_total", "Jobs.", "shard", "0").Add(5)
+	reg.Histogram("amo_test_latency_seconds", "Latency.", 1e-9).Observe(1500)
+	tr := obs.NewTracer(1, 64)
+	tr.Record(7, obs.TraceSubmitted, 0)
+	tr.Record(7, obs.TraceStarted, 0)
+	var healthy atomic.Bool
+	srv, err := Serve("127.0.0.1:0", Options{
+		Registries: []*obs.Registry{reg, obs.Default},
+		Statsz:     func() any { return map[string]int{"pending": 3} },
+		Healthz: func() error {
+			if !healthy.Load() {
+				return errors.New("still warming up")
+			}
+			return nil
+		},
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while unhealthy: %d %s", code, body)
+	}
+	healthy.Store(true)
+	if code, body = get(t, base+"/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	st, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics not valid exposition: %v\n%s", err, body)
+	}
+	if st.Series == 0 {
+		t.Fatal("/metrics served no series")
+	}
+
+	code, body = get(t, base+"/statsz")
+	if code != 200 {
+		t.Fatalf("/statsz = %d", code)
+	}
+	var statsz struct {
+		Metrics map[string]any `json:"metrics"`
+		Stats   map[string]int `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &statsz); err != nil {
+		t.Fatalf("/statsz not JSON: %v\n%s", err, body)
+	}
+	if statsz.Stats["pending"] != 3 {
+		t.Fatalf("/statsz stats = %v", statsz.Stats)
+	}
+	if _, ok := statsz.Metrics[`amo_test_jobs_total{shard="0"}`]; !ok {
+		t.Fatalf("/statsz metrics missing counter: %v", statsz.Metrics)
+	}
+
+	code, body = get(t, base+"/tracez")
+	if code != 200 {
+		t.Fatalf("/tracez = %d", code)
+	}
+	var tracez struct {
+		Jobs []struct {
+			ID     uint64 `json:"id"`
+			Events []struct {
+				Event string  `json:"event"`
+				TUs   float64 `json:"t_us"`
+			} `json:"events"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &tracez); err != nil {
+		t.Fatalf("/tracez not JSON: %v\n%s", err, body)
+	}
+	if len(tracez.Jobs) != 1 || tracez.Jobs[0].ID != 7 || len(tracez.Jobs[0].Events) != 2 {
+		t.Fatalf("/tracez = %s", body)
+	}
+	if tracez.Jobs[0].Events[0].Event != "submitted" || tracez.Jobs[0].Events[1].Event != "started" {
+		t.Fatalf("/tracez event names = %s", body)
+	}
+
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestLiveExposition validates a LIVE endpoint named by AMO_METRICS_URL
+// — CI starts examples/quickstart with an ops endpoint and points this
+// test at it, asserting the three layer families are present.
+func TestLiveExposition(t *testing.T) {
+	url := os.Getenv("AMO_METRICS_URL")
+	if url == "" {
+		t.Skip("AMO_METRICS_URL not set; CI-only live validation")
+	}
+	code, body := get(t, url)
+	if code != 200 {
+		t.Fatalf("GET %s = %d", url, code)
+	}
+	st, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("live exposition invalid: %v\n%s", err, body)
+	}
+	t.Logf("live exposition: %d families, %d series", st.Families, st.Series)
+	for _, fam := range []string{"amo_dispatcher_", "amo_netmem_", "amo_membackend_"} {
+		if !strings.Contains(string(body), "# TYPE "+fam) {
+			t.Errorf("live exposition missing %s* family", fam)
+		}
+	}
+}

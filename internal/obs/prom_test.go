@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with every metric kind and fixed
+// values, so its exposition is byte-for-byte reproducible.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("amo_test_jobs_total", "Jobs processed.", "shard", "0").Add(42)
+	r.Counter("amo_test_jobs_total", "Jobs processed.", "shard", "1").Add(7)
+	r.Gauge("amo_test_queue_depth", "Jobs resident in the queue.", "shard", "0").Set(3)
+	r.CounterFunc("amo_test_pulled_total", "Pull-style counter.", func() uint64 { return 9 })
+	r.GaugeFunc("amo_test_temperature_ratio", "Pull-style gauge.", func() float64 { return 0.5 })
+	h := r.Histogram("amo_test_latency_seconds", "Sampled latency.", 1e-9)
+	for _, v := range []uint64{5, 5, 17, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusGolden locks the exposition format against the checked-in
+// golden file. Regenerate with -update on deliberate format changes.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.prom")
+	if os.Getenv("OBS_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nrun with OBS_UPDATE_GOLDEN=1 to regenerate", buf.Bytes(), want)
+	}
+}
+
+// TestParseOwnExposition: the validator accepts what WritePrometheus
+// produces and counts its families and series.
+func TestParseOwnExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Families != 5 {
+		t.Fatalf("parsed %d families, want 5", st.Families)
+	}
+	// 2 counter series + 1 gauge + 1 counterfunc + 1 gaugefunc +
+	// histogram (4 non-empty buckets + Inf + sum + count = 7).
+	if st.Series != 12 {
+		t.Fatalf("parsed %d series, want 12", st.Series)
+	}
+}
+
+// TestParseExpositionRejects: malformed expositions fail with the
+// offending line.
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":            "# TYPE 9bad counter\n9bad 1\n",
+		"no value":            "# TYPE amo_x counter\namo_x\n",
+		"bad value":           "# TYPE amo_x counter\namo_x pizza\n",
+		"unbalanced braces":   "# TYPE amo_x counter\namo_x{shard=\"0\" 1\n",
+		"unquoted label":      "# TYPE amo_x counter\namo_x{shard=0} 1\n",
+		"sample before TYPE":  "amo_x 1\n",
+		"duplicate series":    "# TYPE amo_x counter\namo_x 1\namo_x 2\n",
+		"unknown type":        "# TYPE amo_x flavor\n",
+		"non-cumulative hist": "# TYPE amo_h histogram\namo_h_bucket{le=\"1\"} 5\namo_h_bucket{le=\"2\"} 3\n",
+		"le not ascending":    "# TYPE amo_h histogram\namo_h_bucket{le=\"2\"} 1\namo_h_bucket{le=\"1\"} 2\n",
+		"empty input":         "",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+}

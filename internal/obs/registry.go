@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates what a series holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// promType maps a kind to its Prometheus TYPE keyword.
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels []string // alternating k1, v1, k2, v2, …
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	cFn    func() uint64
+	gFn    func() float64
+}
+
+// family groups every series sharing one metric name; HELP and TYPE are
+// family-wide, per the exposition format.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	scale float64 // histogram exposition scale (raw units → exposed units)
+	order []*series
+	byKey map[string]*series
+}
+
+// Registry holds metric families and renders them. A Registry is safe
+// for concurrent registration and exposition. Two registries are used
+// in practice: one per Dispatcher (its gauges die with it) and the
+// process-global Default for layers created from spec strings (netmem,
+// membackend) that have no dispatcher to hang metrics off.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-global registry. Layers without an owning
+// Dispatcher (netmem client/server, membackend) register here; the ops
+// endpoint exposes it alongside the dispatcher's own registry.
+var Default = NewRegistry()
+
+func labelKey(kv []string) string { return strings.Join(kv, "\x1f") }
+
+// getSeries finds or creates the (name, labels) series, creating the
+// family on first use. Registering the same name with a different kind
+// is a programming error and panics — metric names are compile-time
+// constants in this codebase.
+func (r *Registry) getSeries(name, help string, kind metricKind, scale float64, kv []string) *series {
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list for " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, scale: scale, byKey: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind.promType(), f.kind.promType()))
+	}
+	key := labelKey(kv)
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: append([]string(nil), kv...)}
+		switch kind {
+		case kindCounter:
+			s.c = new(Counter)
+		case kindGauge:
+			s.g = new(Gauge)
+		case kindHistogram:
+			s.h = new(Histogram)
+		}
+		f.byKey[key] = s
+		f.order = append(f.order, s)
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series. kv is an alternating
+// label key/value list.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	return r.getSeries(name, help, kindCounter, 0, kv).c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	return r.getSeries(name, help, kindGauge, 0, kv).g
+}
+
+// CounterFunc registers a pull-style counter: fn is called at
+// exposition time. This is the zero-hot-path-cost shape — the engine
+// keeps maintaining the counters it already had, and only the scrape
+// pays for reading them. fn must be safe to call concurrently with the
+// code it observes.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, kv ...string) {
+	r.getSeries(name, help, kindCounterFunc, 0, kv).cFn = fn
+}
+
+// GaugeFunc registers a pull-style gauge; see CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	r.getSeries(name, help, kindGaugeFunc, 0, kv).gFn = fn
+}
+
+// Histogram registers (or finds) a histogram series. scale converts
+// recorded raw units into exposed units (1e-9 for nanosecond samples
+// exposed as seconds; 1 for dimensionless samples).
+func (r *Registry) Histogram(name, help string, scale float64, kv ...string) *Histogram {
+	if scale == 0 {
+		scale = 1
+	}
+	return r.getSeries(name, help, kindHistogram, scale, kv).h
+}
+
+// HistogramSnapshot merges every series of the named histogram family
+// into one snapshot (per-label-set histograms of one family share the
+// bucket layout, so the merge is exact). ok is false when the family is
+// absent or not a histogram.
+func (r *Registry) HistogramSnapshot(name string) (HistSnapshot, bool) {
+	r.mu.Lock()
+	f := r.fams[name]
+	var hs []*Histogram
+	if f != nil && f.kind == kindHistogram {
+		for _, s := range f.order {
+			hs = append(hs, s.h)
+		}
+	}
+	r.mu.Unlock()
+	if f == nil || f.kind != kindHistogram {
+		return HistSnapshot{}, false
+	}
+	var out HistSnapshot
+	for _, h := range hs {
+		out.Merge(h.Snapshot())
+	}
+	return out, true
+}
+
+// Snapshot renders the registry as a flat name{labels} → value map —
+// the representation the legacy expvar adapter publishes. Counters and
+// gauges render as numbers; histograms as {count, sum, p50, p99, p999}
+// sub-maps derived from the same buckets Prometheus sees.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	out := make(map[string]any)
+	for _, f := range fams {
+		for _, s := range f.order {
+			key := f.name + renderLabels(s.labels)
+			switch f.kind {
+			case kindCounter:
+				out[key] = s.c.Value()
+			case kindCounterFunc:
+				out[key] = s.cFn()
+			case kindGauge:
+				out[key] = s.g.Value()
+			case kindGaugeFunc:
+				out[key] = s.gFn()
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				out[key] = map[string]any{
+					"count": snap.Count,
+					"sum":   float64(snap.Sum) * f.scale,
+					"p50":   float64(snap.Quantile(0.50)) * f.scale,
+					"p99":   float64(snap.Quantile(0.99)) * f.scale,
+					"p999":  float64(snap.Quantile(0.999)) * f.scale,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// renderLabels formats an alternating k/v list as {k="v",…}; empty
+// lists render as "".
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortedFamilies snapshots the family list in name order for stable
+// exposition.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

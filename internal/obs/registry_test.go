@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate: same (name, labels) returns the same metric;
+// different labels are distinct series of one family.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("amo_test_total", "h", "shard", "0")
+	b := r.Counter("amo_test_total", "h", "shard", "0")
+	if a != b {
+		t.Fatal("same series returned distinct counters")
+	}
+	c := r.Counter("amo_test_total", "h", "shard", "1")
+	if a == c {
+		t.Fatal("distinct label sets share a counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", a.Value())
+	}
+}
+
+// TestRegistryKindMismatch: re-registering a name as a different kind
+// panics (a programming error, not a runtime condition).
+func TestRegistryKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("amo_test_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("amo_test_total", "h")
+}
+
+// TestRegistryConcurrent: concurrent registration and exposition are
+// safe (run under -race).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("amo_test_total", "h", "g", string(rune('a'+g))).Inc()
+				r.Gauge("amo_test_depth", "h").Set(float64(i))
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		r.Snapshot()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total uint64
+	for g := 0; g < 4; g++ {
+		v, ok := snap[`amo_test_total{g="`+string(rune('a'+g))+`"}`].(uint64)
+		if !ok {
+			t.Fatalf("missing series for g=%c in %v", 'a'+g, snap)
+		}
+		total += v
+	}
+	if total != 400 {
+		t.Fatalf("snapshot total %d, want 400", total)
+	}
+}
+
+// TestGaugeAdd: concurrent float adds converge exactly (CAS loop).
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+}
+
+// TestHistogramSnapshotMergesSeries: HistogramSnapshot folds every
+// label set of one family into a single mergeable snapshot.
+func TestHistogramSnapshotMergesSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("amo_test_lat", "h", 1, "shard", "0").Observe(5)
+	r.Histogram("amo_test_lat", "h", 1, "shard", "1").Observe(100)
+	snap, ok := r.HistogramSnapshot("amo_test_lat")
+	if !ok || snap.Count != 2 {
+		t.Fatalf("merged snapshot count = %d (ok=%v), want 2", snap.Count, ok)
+	}
+	if _, ok := r.HistogramSnapshot("amo_absent"); ok {
+		t.Fatal("HistogramSnapshot invented an absent family")
+	}
+}

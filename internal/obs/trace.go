@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one step of a job's lifecycle through the dispatcher.
+// The at-most-once contract fixes the legal orderings: Submitted ≤
+// Queued ≤ (Stolen)* ≤ Started ≤ Resolved for executed jobs, with
+// Journaled between Started and Resolved on durable dispatchers
+// (record-then-do), Requeued marking residue carry-over between Queued
+// and the next Started, Expired replacing Started..Resolved for
+// deadline casualties, and Recovered jobs resolving straight from
+// Submitted (the payload never runs twice across incarnations). Started
+// appears at most once per id — that ordering IS the paper's guarantee,
+// and the trace tests assert it.
+type TraceEvent uint8
+
+const (
+	TraceSubmitted TraceEvent = iota + 1
+	TraceQueued
+	TraceStolen
+	TraceRequeued
+	TraceStarted
+	TraceJournaled
+	TraceResolved
+	TraceExpired
+	TraceRecovered
+)
+
+var traceNames = [...]string{
+	TraceSubmitted: "submitted",
+	TraceQueued:    "queued",
+	TraceStolen:    "stolen",
+	TraceRequeued:  "requeued",
+	TraceStarted:   "started",
+	TraceJournaled: "journaled",
+	TraceResolved:  "resolved",
+	TraceExpired:   "expired",
+	TraceRecovered: "recovered",
+}
+
+func (e TraceEvent) String() string {
+	if int(e) < len(traceNames) && traceNames[e] != "" {
+		return traceNames[e]
+	}
+	return "unknown"
+}
+
+// TraceEntry is one recorded event.
+type TraceEntry struct {
+	ID    uint64     `json:"id"`
+	Event TraceEvent `json:"-"`
+	Shard int32      `json:"shard"`
+	TS    int64      `json:"ts_unix_nano"`
+}
+
+// Timeline is every recorded event of one job, in record order.
+type Timeline struct {
+	ID     uint64
+	Events []TraceEntry
+}
+
+// DefaultTraceCap is the ring capacity used when a Tracer is built with
+// cap ≤ 0: enough for ~1k sampled jobs' full lifecycles.
+const DefaultTraceCap = 8192
+
+// Tracer records sampled per-job event timelines into a fixed ring.
+// Sampling is a deterministic hash of the job id, so every layer that
+// sees a sampled job records it (no per-entry sampling state to
+// thread), and the same id is sampled or not consistently across
+// process incarnations — which is what lets a recovery test trace the
+// same job in both lives. Record on an unsampled id is one multiply and
+// a compare; sampled records share one mutex, acceptable because
+// sampling keeps the traced stream sparse. A nil *Tracer is inert.
+type Tracer struct {
+	threshold uint64 // sample iff hash(id) < threshold
+	mu        sync.Mutex
+	ring      []TraceEntry
+	next      int // overwrite cursor once the ring is full
+}
+
+// NewTracer builds a tracer sampling the given fraction of job ids
+// (clamped to [0,1]); rate 0 returns nil, the inert tracer.
+func NewTracer(rate float64, capacity int) *Tracer {
+	if rate <= 0 {
+		return nil
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	t := &Tracer{ring: make([]TraceEntry, 0, capacity)}
+	if rate >= 1 {
+		t.threshold = ^uint64(0)
+	} else {
+		t.threshold = uint64(rate * float64(1<<63) * 2)
+	}
+	return t
+}
+
+// traceHash spreads job ids (dense sequences) uniformly over uint64.
+func traceHash(id uint64) uint64 {
+	x := id * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	return x ^ (x >> 32)
+}
+
+// Sampled reports whether id's events are recorded.
+func (t *Tracer) Sampled(id uint64) bool {
+	return t != nil && traceHash(id) < t.threshold
+}
+
+// Record appends one event for id if it is sampled. Safe on a nil
+// tracer.
+func (t *Tracer) Record(id uint64, ev TraceEvent, shard int) {
+	if !t.Sampled(id) {
+		return
+	}
+	e := TraceEntry{ID: id, Event: ev, Shard: int32(shard), TS: time.Now().UnixNano()}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+		if t.next++; t.next == len(t.ring) {
+			t.next = 0
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the ring's entries oldest-first. Safe on a nil
+// tracer (returns nil).
+func (t *Tracer) Snapshot() []TraceEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		return append([]TraceEntry(nil), t.ring...)
+	}
+	// Full ring: the overwrite cursor points at the oldest entry.
+	out := make([]TraceEntry, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Timelines groups the ring's entries by job id, each timeline in
+// record order, timelines ordered by their first event's timestamp.
+// Jobs whose early events were overwritten by ring wrap-around appear
+// with the tail they still have.
+func (t *Tracer) Timelines() []Timeline {
+	entries := t.Snapshot()
+	byID := make(map[uint64]*Timeline)
+	order := make([]*Timeline, 0, 16)
+	for _, e := range entries {
+		tl := byID[e.ID]
+		if tl == nil {
+			tl = &Timeline{ID: e.ID}
+			byID[e.ID] = tl
+			order = append(order, tl)
+		}
+		tl.Events = append(tl.Events, e)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Events[0].TS < order[j].Events[0].TS
+	})
+	out := make([]Timeline, len(order))
+	for i, tl := range order {
+		out[i] = *tl
+	}
+	return out
+}
+
+// Timeline returns one job's recorded events (nil when untraced).
+func (t *Tracer) Timeline(id uint64) []TraceEntry {
+	var out []TraceEntry
+	for _, e := range t.Snapshot() {
+		if e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}

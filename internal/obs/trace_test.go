@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerSamplingDeterministic: whether an id is sampled is a pure
+// function of the id — the property that lets every layer (and every
+// process incarnation) agree on which jobs to trace with no shared
+// state.
+func TestTracerSamplingDeterministic(t *testing.T) {
+	a := NewTracer(0.25, 64)
+	b := NewTracer(0.25, 64)
+	sampled := 0
+	const n = 10_000
+	for id := uint64(1); id <= n; id++ {
+		if a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("id %d sampled inconsistently", id)
+		}
+		if a.Sampled(id) {
+			sampled++
+		}
+	}
+	// The hash should land the rate within a loose band.
+	if sampled < n/8 || sampled > n/2 {
+		t.Fatalf("sampled %d of %d at rate 0.25", sampled, n)
+	}
+	if NewTracer(0, 64) != nil {
+		t.Fatal("rate 0 should return the nil tracer")
+	}
+	var nilT *Tracer
+	if nilT.Sampled(1) {
+		t.Fatal("nil tracer sampled an id")
+	}
+	nilT.Record(1, TraceSubmitted, 0) // must not panic
+	if nilT.Snapshot() != nil {
+		t.Fatal("nil tracer has entries")
+	}
+}
+
+// TestTracerFullRate: rate 1 samples everything.
+func TestTracerFullRate(t *testing.T) {
+	tr := NewTracer(1, 16)
+	for id := uint64(0); id < 100; id++ {
+		if !tr.Sampled(id) {
+			t.Fatalf("rate 1 skipped id %d", id)
+		}
+	}
+}
+
+// TestTracerRingWrap: the ring keeps the newest entries, oldest-first
+// in Snapshot.
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for id := uint64(1); id <= 7; id++ {
+		tr.Record(id, TraceSubmitted, 0)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if want := uint64(4 + i); e.ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d", i, e.ID, want)
+		}
+	}
+}
+
+// TestTracerTimelines: events group by id in record order, and
+// Timeline(id) filters.
+func TestTracerTimelines(t *testing.T) {
+	tr := NewTracer(1, 64)
+	tr.Record(1, TraceSubmitted, 0)
+	tr.Record(2, TraceSubmitted, 1)
+	tr.Record(1, TraceQueued, 0)
+	tr.Record(1, TraceStarted, 0)
+	tr.Record(2, TraceQueued, 1)
+	tls := tr.Timelines()
+	if len(tls) != 2 || tls[0].ID != 1 || tls[1].ID != 2 {
+		t.Fatalf("timelines = %+v", tls)
+	}
+	want := []TraceEvent{TraceSubmitted, TraceQueued, TraceStarted}
+	got := tr.Timeline(1)
+	if len(got) != len(want) {
+		t.Fatalf("timeline(1) = %+v", got)
+	}
+	for i, e := range got {
+		if e.Event != want[i] {
+			t.Fatalf("timeline(1)[%d] = %s, want %s", i, e.Event, want[i])
+		}
+	}
+}
+
+// TestTracerConcurrent: concurrent Record is safe (run under -race).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(uint64(g*1000+i), TraceSubmitted, g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 128 {
+		t.Fatalf("ring holds %d, want 128", got)
+	}
+}
+
+// TestTraceEventStrings: every event renders a stable name.
+func TestTraceEventStrings(t *testing.T) {
+	for ev := TraceSubmitted; ev <= TraceRecovered; ev++ {
+		if ev.String() == "unknown" {
+			t.Fatalf("event %d has no name", ev)
+		}
+	}
+	if TraceEvent(0).String() != "unknown" || TraceEvent(99).String() != "unknown" {
+		t.Fatal("out-of-range events should render unknown")
+	}
+}
