@@ -28,7 +28,11 @@
 // cost: interleaved metrics-on/metrics-off streaming reps on one shape,
 // failing when the median metrics-on throughput regresses more than
 // -overheadtol (default 3%) — the CI gate for DESIGN.md §12's overhead
-// budget.
+// budget. The structured event log (DESIGN.md §13) is live in BOTH arms
+// — its per-round Debug events go to the flight ring regardless of the
+// AMO_LOG sink level — so the gate also bounds the forensic layer's
+// hot-path cost; set AMO_LOG=off to silence the bench's stderr without
+// changing what is measured.
 // -backend selects the register backend (atomic, mmap[:PATH],
 // net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
 // cost of durable journaling — local or networked — is measurable;

@@ -1,5 +1,5 @@
 // Fenced failover: at-most-once across dispatcher takeover, over the
-// network.
+// network — with the full forensic trail.
 //
 // Two dispatcher processes share one register namespace on an amo-regd
 // register server. Process A starts the job stream, freezes with a
@@ -16,15 +16,30 @@
 // to a shared log when it executes, so the verdict is counted from the
 // log itself: zero duplicates, zero losses.
 //
+// The forensic layer (DESIGN.md §13) is exercised end to end: both
+// children sample job timelines and snapshot their /tracez endpoint to
+// disk, the in-process register server traces the journal writes it
+// acknowledges, and the parent stitches all three views into one
+// cross-process timeline per job (obs.StitchTimelines), checks the
+// at-most-once trace grammar on the merged timelines — started at most
+// once ACROSS incarnations — and prints the stitched timeline of one
+// recovered job. A's death is verified structurally: its stderr must
+// carry a flight-recorder dump (AMO-FLIGHT-DUMP) whose fatal event says
+// fenced=true and names both epochs.
+//
 // Run with: go run ./examples/failover
-// Point it at an external server with AMO_REGD_ADDR=host:port.
+// Point it at an external server with AMO_REGD_ADDR=host:port (the
+// server-side trace view is skipped there; stitching uses A and B).
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -37,6 +52,8 @@ import (
 
 	"atmostonce"
 	"atmostonce/internal/netmem"
+	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
 )
 
 const (
@@ -44,6 +61,12 @@ const (
 	workers   = 4
 	maxBatch  = 512
 	killAfter = 40 // payloads A runs before freezing mid-round
+
+	// traceRate samples half the job ids into each process's tracer.
+	// The hash is deterministic on the id, so A, B and the server all
+	// sample the SAME ids — which is what makes their per-process
+	// fragments stitch into complete cross-incarnation timelines.
+	traceRate = 0.5
 
 	// leaseTTL is the writer lease; A's expires while it is stopped.
 	// stallThreshold is A's self-detection of the stop (a wall-clock
@@ -82,7 +105,31 @@ func config(spec string) atmostonce.DispatcherConfig {
 		MaxBatch:        maxBatch,
 		Backend:         spec,
 		MaxJobs:         totalJobs,
+		// Each child serves its own ops endpoint so it can snapshot its
+		// /tracez view to disk for the parent to stitch.
+		MetricsAddr:     "127.0.0.1:0",
+		TraceSampleRate: traceRate,
 	}
+}
+
+// snapshotTracez fetches the child's own /tracez document and writes it
+// where the parent will look for it. Best-effort by design on the
+// incumbent: it runs moments before a deliberate crash.
+func snapshotTracez(d *atmostonce.Dispatcher, dir, name string) error {
+	addr := d.OpsAddr()
+	if addr == "" {
+		return fmt.Errorf("no ops endpoint bound")
+	}
+	resp, err := http.Get("http://" + addr + "/tracez")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), body, 0o644)
 }
 
 // appendLog appends one performed-job record; O_APPEND keeps records
@@ -113,7 +160,8 @@ func fatal(role string, err error) {
 // stale by then, so its first register operation — the next job's
 // journal write, a runtime register write, or the background lease
 // renewal, whichever lands first — panics the process before any
-// payload can run a second time.
+// payload can run a second time. The trace snapshot is taken at the
+// freeze, i.e. the last instant this incarnation's view exists.
 func childAMain() {
 	dir, spec := os.Getenv(envDir), os.Getenv(envSpec)
 	logF := openLog(dir)
@@ -121,7 +169,6 @@ func childAMain() {
 	if err != nil {
 		fatal("A", err)
 	}
-	_ = d // abandoned on death, like any crashed process
 
 	var performed, frozen atomic.Int64
 	gate := make(chan struct{})
@@ -151,6 +198,9 @@ func childAMain() {
 		time.Sleep(time.Millisecond)
 	}
 	logF.Sync()
+	if err := snapshotTracez(d, dir, "trace-A.json"); err != nil {
+		fatal("A", fmt.Errorf("trace snapshot: %w", err))
+	}
 	fmt.Println("FROZEN") // the parent SIGSTOPs us on this line
 
 	// Stall detector: a sleep that "took" longer than stallThreshold
@@ -174,7 +224,8 @@ func childAMain() {
 
 // childBMain is the successor: open the same namespace (blocking on the
 // writer lease until A's expires), recover the journal over the
-// network, re-submit the identical stream and finish it.
+// network, re-submit the identical stream and finish it, snapshotting
+// its trace view before shutting down.
 func childBMain() {
 	dir, spec := os.Getenv(envDir), os.Getenv(envSpec)
 	logF := openLog(dir)
@@ -192,6 +243,9 @@ func childBMain() {
 	}
 	d.Flush()
 	st := d.Stats()
+	if err := snapshotTracez(d, dir, "trace-B.json"); err != nil {
+		fatal("B", fmt.Errorf("trace snapshot: %w", err))
+	}
 	if err := d.Close(); err != nil {
 		fatal("B", err)
 	}
@@ -207,10 +261,14 @@ func run() error {
 	}
 	defer os.RemoveAll(dir)
 
-	// The register server: external (AMO_REGD_ADDR) or in-process.
+	// The register server: external (AMO_REGD_ADDR) or in-process. The
+	// in-process server traces every journal write it acknowledges —
+	// the third view stitched into the forensic timeline.
 	addr := os.Getenv("AMO_REGD_ADDR")
+	var srvTracer *obs.Tracer
 	if addr == "" {
-		srv := netmem.NewServer(netmem.ServerOptions{})
+		srvTracer = obs.NewTracer(traceRate, 0)
+		srv := netmem.NewServer(netmem.ServerOptions{Tracer: srvTracer})
 		if addr, err = srv.Listen("127.0.0.1:0"); err != nil {
 			return err
 		}
@@ -307,13 +365,24 @@ func run() error {
 	case errors.As(werr, &ee) && ee.ExitCode() == notFencedExit:
 		return fmt.Errorf("A was never fenced; stderr:\n%s", aErr.String())
 	case errors.As(werr, &ee):
-		if !strings.Contains(aErr.String(), "fenced") {
-			return fmt.Errorf("A died (code %d) but not by fencing; stderr:\n%s", ee.ExitCode(), aErr.String())
+		// Verify the death STRUCTURALLY: the zombie must have left a
+		// flight-recorder dump whose fatal event says fenced, with both
+		// epochs (its own stale stamp and the lease's current one) in
+		// the rejection text.
+		if err := checkFlightDump(aErr.String()); err != nil {
+			return fmt.Errorf("A died (code %d) but its flight-recorder dump is wrong: %w; stderr:\n%s",
+				ee.ExitCode(), err, aErr.String())
 		}
 	default:
 		return fmt.Errorf("waiting for A: %w", werr)
 	}
 	fmt.Printf("A resumed as a zombie and was fenced by the server (exit %d)\n", ee.ExitCode())
+
+	// Stitch the per-process trace views into cross-incarnation
+	// timelines and check the merged at-most-once grammar.
+	if err := stitchAndCheck(dir, srvTracer); err != nil {
+		return err
+	}
 
 	// The verdict comes from the log: every id exactly once, across the
 	// freeze, the takeover and the zombie's death.
@@ -340,6 +409,125 @@ func run() error {
 		return fmt.Errorf("%d jobs lost across the failover", lost)
 	}
 	return nil
+}
+
+// checkFlightDump finds the AMO-FLIGHT-DUMP line in the zombie's stderr
+// and asserts its fatal event records a fence: fenced=true, an epoch
+// attr, and the server's rejection text carrying the current lease
+// epoch ("lease is at N").
+func checkFlightDump(stderr string) error {
+	var dump eventlog.FlightDump
+	found := false
+	for _, line := range strings.Split(stderr, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), strings.TrimSpace(eventlog.DumpPrefix)); ok {
+			if err := json.Unmarshal([]byte(rest), &dump); err != nil {
+				return fmt.Errorf("unparseable flight dump: %v", err)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("no %s line on stderr", strings.TrimSpace(eventlog.DumpPrefix))
+	}
+	for _, ev := range dump.Events {
+		if ev.Event != "netmem_client_fatal" {
+			continue
+		}
+		if fenced, _ := ev.Attrs["fenced"].(bool); !fenced {
+			return fmt.Errorf("fatal event has fenced=%v", ev.Attrs["fenced"])
+		}
+		if _, ok := ev.Attrs["epoch"]; !ok {
+			return fmt.Errorf("fatal event carries no epoch")
+		}
+		errText, _ := ev.Attrs["err"].(string)
+		if !strings.Contains(errText, "lease is at") {
+			return fmt.Errorf("fatal event names no successor epoch: %q", errText)
+		}
+		fmt.Printf("A's flight-recorder dump contains the fencing event: stale epoch %v, rejection %q (incarnation %s, %d events)\n",
+			ev.Attrs["epoch"], errText, dump.Incarnation, len(dump.Events))
+		return nil
+	}
+	return fmt.Errorf("flight dump has no netmem_client_fatal event (%d events)", len(dump.Events))
+}
+
+// stitchAndCheck merges the trace views — incumbent A (snapshotted at
+// its freeze), successor B (snapshotted after its flush) and, when the
+// register server ran in-process, the server's journal-write
+// observations — into per-job cross-incarnation timelines, asserts the
+// merged at-most-once grammar on every one, and prints the stitched
+// timeline of one recovered job as the forensic exhibit.
+func stitchAndCheck(dir string, srvTracer *obs.Tracer) error {
+	aDoc, err := readTracezFile(filepath.Join(dir, "trace-A.json"))
+	if err != nil {
+		return fmt.Errorf("incumbent trace: %w", err)
+	}
+	bDoc, err := readTracezFile(filepath.Join(dir, "trace-B.json"))
+	if err != nil {
+		return fmt.Errorf("successor trace: %w", err)
+	}
+	docs := []obs.TracezDoc{aDoc, bDoc}
+	role := map[string]string{aDoc.Incarnation: "incumbent", bDoc.Incarnation: "successor"}
+	if srvTracer != nil {
+		srvDoc := obs.NewTracezDoc(srvTracer)
+		role[srvDoc.Incarnation] = "regd"
+		docs = append(docs, srvDoc)
+	}
+
+	jobs := obs.StitchTimelines(docs...)
+	if len(jobs) == 0 {
+		return fmt.Errorf("stitching produced no timelines")
+	}
+	for _, j := range jobs {
+		if err := obs.CheckStitched(j); err != nil {
+			return fmt.Errorf("merged trace grammar violated: %w", err)
+		}
+	}
+	fmt.Printf("merged trace grammar holds for all %d stitched jobs (started ≤ 1 across incarnations)\n", len(jobs))
+
+	// The exhibit: a job that A started and journaled, and B resolved
+	// from the journal — its one timeline spans both incarnations.
+	for _, j := range jobs {
+		incs := j.Incarnations()
+		recovered, spansBoth := false, false
+		seenA, seenB := false, false
+		for _, inc := range incs {
+			seenA = seenA || inc == aDoc.Incarnation
+			seenB = seenB || inc == bDoc.Incarnation
+		}
+		spansBoth = seenA && seenB
+		for _, e := range j.Events {
+			if e.Event == "recovered" {
+				recovered = true
+			}
+		}
+		if !recovered || !spansBoth {
+			continue
+		}
+		fmt.Printf("stitched timeline for recovered job %d spans %d incarnations (incumbent %s -> successor %s):\n",
+			j.ID, len(incs), aDoc.Incarnation, bDoc.Incarnation)
+		for _, e := range j.Events {
+			who := role[e.Inc]
+			if who == "" {
+				who = "?"
+			}
+			shard := strconv.Itoa(int(e.Shard))
+			if e.Shard < 0 {
+				shard = "server"
+			}
+			fmt.Printf("  %+12.0fµs  %-10s %-9s  inc %s (%s)\n", e.TUs, e.Event, shard, e.Inc, who)
+		}
+		return nil
+	}
+	return fmt.Errorf("no stitched timeline spans both incarnations with a recovered event (%d jobs)", len(jobs))
+}
+
+func readTracezFile(path string) (obs.TracezDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return obs.TracezDoc{}, err
+	}
+	return obs.ParseTracezDoc(b)
 }
 
 func parseRecovered(out string) (int, error) {

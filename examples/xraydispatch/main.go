@@ -19,14 +19,15 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
 	"atmostonce"
+	"atmostonce/internal/obs"
 )
 
 func main() {
@@ -139,33 +140,31 @@ func run() error {
 	return nil
 }
 
-// printRecoveredTimeline pulls /tracez from the session-2 ops endpoint
-// and prints the timeline of the given recovered pulse: the trace must
-// show it resolving straight from the journal, never "started".
+// printRecoveredTimeline pulls the pulse's timeline from the session-2
+// ops endpoint — /tracez?id=N serves just that job — and prints it: the
+// trace must show the pulse resolving straight from the journal, never
+// "started". Each event carries the incarnation that observed it
+// (DESIGN.md §13); in this single-process session they all match.
 func printRecoveredTimeline(addr string, id uint64) error {
-	resp, err := http.Get("http://" + addr + "/tracez")
+	resp, err := http.Get(fmt.Sprintf("http://%s/tracez?id=%d", addr, id))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	var doc struct {
-		Jobs []struct {
-			ID     uint64 `json:"id"`
-			Events []struct {
-				Event string  `json:"event"`
-				Shard int32   `json:"shard"`
-				TUs   float64 `json:"t_us"`
-			} `json:"events"`
-		} `json:"jobs"`
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+	doc, err := obs.ParseTracezDoc(body)
+	if err != nil {
 		return err
 	}
 	for _, j := range doc.Jobs {
 		if j.ID != id {
 			continue
 		}
-		fmt.Printf("\ntimeline of recovered pulse (job id %d, from /tracez):\n", j.ID)
+		fmt.Printf("\ntimeline of recovered pulse (job id %d, from /tracez?id=%d, incarnation %s):\n",
+			j.ID, id, doc.Incarnation)
 		for _, e := range j.Events {
 			fmt.Printf("  +%8.1fµs  %-9s (shard %d)\n", e.TUs, e.Event, e.Shard)
 			if e.Event == "started" {

@@ -27,6 +27,7 @@ import (
 
 	"atmostonce/internal/membackend"
 	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
 	"atmostonce/internal/obs/opshttp"
 )
 
@@ -324,6 +325,9 @@ type Dispatcher struct {
 	recoveryHist *obs.Histogram
 	tr           *obs.Tracer
 	ops          *opshttp.Server
+	// jfullOnce gates the journal-full warning: the condition repeats on
+	// every rejected submission, the event is interesting once.
+	jfullOnce sync.Once
 	// latBase anchors entry.t0 latency stamps (latStamp): Unix
 	// nanoseconds at construction, so stamps stay small and a uint32 of
 	// microseconds is enough for wrap-safe submit→done deltas.
@@ -433,6 +437,7 @@ func (d *Dispatcher) leaseBlock() (lo, hi uint64, err error) {
 	for {
 		cur := d.idCursor.v.Load()
 		if cur >= max {
+			d.warnJournalFull()
 			return 0, 0, ErrJournalFull
 		}
 		want := uint64(idBlock)
@@ -460,12 +465,20 @@ func (d *Dispatcher) leaseRange(n uint64) (uint64, error) {
 	for {
 		cur := d.idCursor.v.Load()
 		if cur+n > max {
+			d.warnJournalFull()
 			return 0, ErrJournalFull
 		}
 		if d.idCursor.v.CompareAndSwap(cur, cur+n) {
 			return cur + 1, nil
 		}
 	}
+}
+
+// warnJournalFull emits the journal-capacity event once per dispatcher.
+func (d *Dispatcher) warnJournalFull() {
+	d.jfullOnce.Do(func() {
+		eventlog.Logger().Warn("dispatch_journal_full", "max_jobs", d.cfg.MaxJobs)
+	})
 }
 
 // Submit enqueues one job and returns its dispatcher-wide id. The job will

@@ -7,6 +7,7 @@ import (
 
 	"atmostonce/internal/core"
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs/eventlog"
 )
 
 // Durable shard state. When Config.NewMem supplies a register backend,
@@ -76,19 +77,24 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 	s.jcur = make([]int, m)
 	s.rbase = jbase
 	s.ackedW, _ = b.(membackend.AckedWriter)
+	s.journalW, _ = b.(membackend.JournalWriter)
 
 	fp := fingerprint(s.id, cfg.Shards, m, maxBatch, maxJobs)
 	if r, ok := b.(membackend.Reopener); ok && r.Reopened() {
 		if got := b.Read(0); got != fp {
 			b.Close()
+			eventlog.Logger().Error("dispatch_fingerprint_mismatch",
+				"shard", s.id, "got", fmt.Sprintf("%#x", got), "want", fmt.Sprintf("%#x", fp))
 			return nil, fmt.Errorf("dispatch: shard %d register file was written by a different configuration (fingerprint %#x, want %#x); use the original Shards/Workers/MaxBatch/MaxJobs or start from a fresh file",
 				s.id, got, fp)
 		}
 		scan0 := time.Now()
+		eventlog.Logger().Info("dispatch_recovery_scan_begin", "shard", s.id, "workers", m)
 		for p := 1; p <= m; p++ {
 			n, err := s.scanJournalRow(p, &recovered)
 			if err != nil {
 				b.Close()
+				eventlog.Logger().Error("dispatch_recovery_scan_failed", "shard", s.id, "row", p, "err", err)
 				return nil, fmt.Errorf("dispatch: shard %d journal scan: %w", s.id, err)
 			}
 			s.jcur[p-1] = n
@@ -104,6 +110,8 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 		if s.d.recoveryHist != nil {
 			s.d.recoveryHist.Observe(uint64(time.Since(scan0)))
 		}
+		eventlog.Logger().Info("dispatch_recovery_scan_end",
+			"shard", s.id, "recovered", len(recovered), "dur", time.Since(scan0))
 	} else {
 		b.Write(0, fp)
 	}
@@ -193,13 +201,25 @@ func (s *shard) journal(p int, id uint64) {
 		// is journaled at most once across all rows and incarnations, so a
 		// row never outgrows MaxJobs. Fail loudly rather than overwrite a
 		// neighbouring row.
+		eventlog.CrashDump("dispatch_journal_overflow", "shard", s.id, "row", p, "max_jobs", s.jlen)
 		panic(fmt.Sprintf("dispatch: shard %d journal row %d overflow (MaxJobs %d)", s.id, p, s.jlen))
 	}
-	if s.ackedW != nil {
-		if err := s.ackedW.WriteAcked(s.jaddr(p, idx), int64(id)); err != nil {
+	switch {
+	case s.journalW != nil:
+		// The journal-aware capability carries the job id on the wire,
+		// so a remote register server witnesses the write in its own
+		// tracer — the stitching anchor for this job's cross-process
+		// timeline.
+		if err := s.journalW.JournalWrite(s.jaddr(p, idx), id); err != nil {
+			eventlog.CrashDump("dispatch_journal_write_failed", "shard", s.id, "job", id, "err", err)
 			panic(fmt.Sprintf("dispatch: shard %d journal write for job %d failed (fenced or unreachable backend): %v", s.id, id, err))
 		}
-	} else {
+	case s.ackedW != nil:
+		if err := s.ackedW.WriteAcked(s.jaddr(p, idx), int64(id)); err != nil {
+			eventlog.CrashDump("dispatch_journal_write_failed", "shard", s.id, "job", id, "err", err)
+			panic(fmt.Sprintf("dispatch: shard %d journal write for job %d failed (fenced or unreachable backend): %v", s.id, id, err))
+		}
+	default:
 		s.mem.Write(s.jaddr(p, idx), int64(id))
 	}
 	s.jcur[p-1] = idx + 1

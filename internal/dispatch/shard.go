@@ -10,6 +10,7 @@ import (
 	"atmostonce/internal/conc"
 	"atmostonce/internal/membackend"
 	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
 	"atmostonce/internal/shmem"
 )
 
@@ -37,13 +38,14 @@ type shard struct {
 	// backend's AckedWriter capability when it has one (remote backends
 	// do): the journal writes through it so record-then-do holds across
 	// the network, not just across local process death.
-	backend membackend.Backend
-	mem     shmem.Mem
-	ackedW  membackend.AckedWriter
-	durable bool
-	jlen    int
-	rbase   int
-	jcur    []int
+	backend  membackend.Backend
+	mem      shmem.Mem
+	ackedW   membackend.AckedWriter
+	journalW membackend.JournalWriter
+	durable  bool
+	jlen     int
+	rbase    int
+	jcur     []int
 
 	// count points at this shard's padded submitted/performed counters
 	// (d.counts[id]); submit paths and round completion touch only these,
@@ -482,6 +484,9 @@ func (s *shard) observeRound(n, k int, dur time.Duration) {
 		s.d.roundHist.Observe(uint64(dur))
 		s.lastTakenA.Store(int64(n))
 	}
+	// Ring-only at the default Info sink (two atomic ops per round);
+	// AMO_LOG=debug surfaces it on stderr.
+	eventlog.Logger().Debug("dispatch_round", "shard", s.id, "jobs", n, "slots", k, "dur", dur)
 }
 
 // promoWindow is the deadline-promotion lookahead at round assembly,
@@ -738,6 +743,9 @@ func (s *shard) stealWork() int {
 	}
 	s.stats.Stolen += uint64(k)
 	s.mu.Unlock()
+	if k > 0 {
+		eventlog.Logger().Debug("dispatch_steal", "shard", s.id, "victim", victim.id, "jobs", k)
+	}
 	for i := range buf {
 		buf[i] = entry{} // don't pin payloads past the transfer
 	}

@@ -26,11 +26,12 @@ type CountingMem struct {
 }
 
 var (
-	_ Backend     = (*CountingMem)(nil)
-	_ Reopener    = (*CountingMem)(nil)
-	_ AckedWriter = (*CountingMem)(nil)
-	_ RangeReader = (*CountingMem)(nil)
-	_ Filler      = (*CountingMem)(nil)
+	_ Backend       = (*CountingMem)(nil)
+	_ Reopener      = (*CountingMem)(nil)
+	_ AckedWriter   = (*CountingMem)(nil)
+	_ JournalWriter = (*CountingMem)(nil)
+	_ RangeReader   = (*CountingMem)(nil)
+	_ Filler        = (*CountingMem)(nil)
 )
 
 // swappingCounting is a CountingMem over a Swapper-capable inner
@@ -90,6 +91,21 @@ func (c *CountingMem) WriteAcked(addr int, v int64) error {
 		return aw.WriteAcked(addr, v)
 	}
 	c.inner.Write(addr, v)
+	return nil
+}
+
+// JournalWrite implements JournalWriter, counting one write. Falls back
+// through WriteAcked to plain Write when the inner backend lacks the
+// capability, mirroring how the dispatcher itself degrades.
+func (c *CountingMem) JournalWrite(addr int, id uint64) error {
+	c.writes.Add(1)
+	switch v := c.inner.(type) {
+	case JournalWriter:
+		return v.JournalWrite(addr, id)
+	case AckedWriter:
+		return v.WriteAcked(addr, int64(id))
+	}
+	c.inner.Write(addr, int64(id))
 	return nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 
+	"atmostonce/internal/obs/eventlog"
 	"atmostonce/internal/shmem"
 )
 
@@ -96,6 +97,18 @@ type Filler interface {
 // the register service's TAS emulation and test scaffolding.
 type Swapper interface {
 	CompareAndSwap(addr int, old, new int64) bool
+}
+
+// JournalWriter is an acked write that additionally names the job whose
+// journal record the cell carries. Semantically identical to WriteAcked
+// (v is the job id for a journal cell); the separate capability exists
+// so a remote backend can tell the server "this is a journal record for
+// job id" on the wire, letting the server record a server-side trace
+// event for the write. That server-side event is what makes a job's
+// cross-process timeline stitchable even when the writing dispatcher
+// dies before its own tracer is ever scraped.
+type JournalWriter interface {
+	JournalWrite(addr int, id uint64) error
 }
 
 // OpenFunc builds a backend with size cells from the spec's argument
@@ -171,10 +184,17 @@ func Open(spec string, size int) (Backend, error) {
 			kind, spec, hint, strings.Join(Kinds(), ", "))
 	}
 	b, err := open(arg, size)
-	if err == nil {
-		obsOpened(kind)
+	if err != nil {
+		eventlog.Logger().Warn("backend_open_failed", "kind", kind, "spec", spec, "size", size, "err", err)
+		return b, err
 	}
-	return b, err
+	obsOpened(kind)
+	reopened := false
+	if r, ok := b.(Reopener); ok {
+		reopened = r.Reopened()
+	}
+	eventlog.Logger().Debug("backend_open", "kind", kind, "size", size, "reopened", reopened)
+	return b, nil
 }
 
 // parseSpec splits a spec into kind and argument, rejecting the

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs/eventlog"
 	"atmostonce/internal/shmem"
 )
 
@@ -156,13 +157,14 @@ type NetMem struct {
 const maxOutstanding = 2048
 
 var (
-	_ membackend.Backend     = (*NetMem)(nil)
-	_ membackend.Reopener    = (*NetMem)(nil)
-	_ membackend.AckedWriter = (*NetMem)(nil)
-	_ membackend.RangeReader = (*NetMem)(nil)
-	_ membackend.Filler      = (*NetMem)(nil)
-	_ membackend.Swapper     = (*NetMem)(nil)
-	_ shmem.Mem              = (*NetMem)(nil)
+	_ membackend.Backend       = (*NetMem)(nil)
+	_ membackend.Reopener      = (*NetMem)(nil)
+	_ membackend.AckedWriter   = (*NetMem)(nil)
+	_ membackend.JournalWriter = (*NetMem)(nil)
+	_ membackend.RangeReader   = (*NetMem)(nil)
+	_ membackend.Filler        = (*NetMem)(nil)
+	_ membackend.Swapper       = (*NetMem)(nil)
+	_ shmem.Mem                = (*NetMem)(nil)
 )
 
 // Open dials addr, attaches to (or creates) the namespace with size
@@ -187,6 +189,9 @@ func Open(addr string, size int, opts Options) (*NetMem, error) {
 	if err := m.connect(true); err != nil {
 		return nil, err
 	}
+	eventlog.Logger().Info("netmem_client_connected",
+		"addr", addr, "namespace", m.opts.Namespace, "epoch", m.Epoch(),
+		"lease_ttl", m.opts.LeaseTTL, "reopened", m.Reopened())
 	go m.renewLoop()
 	return m, nil
 }
@@ -255,6 +260,7 @@ func (m *NetMem) connect(first bool) error {
 	// executed is harmless. A failure here un-installs the connection
 	// and reports to the caller (Open fails; the redial loop retries).
 	gen := m.gen
+	resent := len(m.outstanding)
 	resendErr := func() error {
 		for _, op := range m.outstanding {
 			op.seq = m.nextSeqLocked()
@@ -277,6 +283,8 @@ func (m *NetMem) connect(first bool) error {
 	m.mu.Unlock()
 	if !first {
 		cliReconnects.Inc()
+		eventlog.Logger().Info("netmem_client_reconnected",
+			"addr", m.addr, "epoch", epoch, "resent_ops", resent)
 	}
 	go m.readLoop(gen, br)
 	return nil
@@ -418,6 +426,10 @@ func (m *NetMem) encodeLocked(op *pendingOp) []byte {
 		b = appendU64(b, m.epoch)
 		b = appendU64(b, uint64(op.addr))
 		b = appendI64(b, op.val)
+	case opJournal:
+		b = appendU64(b, m.epoch)
+		b = appendU64(b, uint64(op.addr))
+		b = appendU64(b, uint64(op.val)) // job id
 	case opReadRange:
 		b = appendU64(b, uint64(op.addr))
 		b = appendU32(b, uint32(op.count))
@@ -648,6 +660,8 @@ func (m *NetMem) breakConnLocked(err error) {
 	}
 	m.redialing = true
 	m.logf("netmem: connection lost (%v), redialing", err)
+	eventlog.Logger().Warn("netmem_client_connection_lost",
+		"addr", m.addr, "err", err, "outstanding", len(m.outstanding))
 	go m.redial()
 }
 
@@ -722,8 +736,10 @@ func (m *NetMem) fatalize(err error) {
 		return
 	}
 	m.fatal = err
+	epoch := m.epoch
+	fenced := errors.Is(err, ErrFenced)
 	cliFatal.Inc()
-	if errors.Is(err, ErrFenced) {
+	if fenced {
 		cliFenced.Inc()
 	}
 	if m.conn != nil {
@@ -741,6 +757,12 @@ func (m *NetMem) fatalize(err error) {
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.logf("netmem: fatal: %v", err)
+	// The client is dead; leave a forensic artifact. On a fence the
+	// error text carries both epochs (ours and the lease's current one,
+	// from the server's rejection), and the epoch attr names the lease
+	// this client was writing under when it died.
+	eventlog.CrashDump("netmem_client_fatal",
+		"addr", m.addr, "epoch", epoch, "fenced", fenced, "err", err)
 }
 
 // fatalOut reports err through OnFatal for the error-less interface
@@ -803,6 +825,15 @@ func (m *NetMem) Write(addr int, v int64) {
 // the dispatcher journal needs across process death.
 func (m *NetMem) WriteAcked(addr int, v int64) error {
 	op := &pendingOp{op: opWrite, addr: addr, val: v, done: make(chan struct{})}
+	return m.send(op)
+}
+
+// JournalWrite implements membackend.JournalWriter: an acked write
+// that names the job whose journal record the cell carries, so the
+// server can trace the journal write under the job's global id. Same
+// durability contract as WriteAcked.
+func (m *NetMem) JournalWrite(addr int, id uint64) error {
+	op := &pendingOp{op: opJournal, addr: addr, val: int64(id), done: make(chan struct{})}
 	return m.send(op)
 }
 

@@ -1,0 +1,91 @@
+package netmem
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs"
+)
+
+// TestJournalWrite: the opJournal round trip. A JournalWrite lands the
+// id in the cell like an acked write AND the server's tracer witnesses
+// the job id as a journaled event with the server-side shard marker —
+// the anchor record cross-process stitching keys on.
+func TestJournalWrite(t *testing.T) {
+	tr := obs.NewTracer(1, 64)
+	srv := NewServer(ServerOptions{Tracer: tr})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	b, err := membackend.Open(fmt.Sprintf("net:%s/%s", addr, uniqueNS()), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	jw, ok := b.(membackend.JournalWriter)
+	if !ok {
+		t.Fatal("net backend does not implement JournalWriter")
+	}
+
+	for i, id := range []uint64{42, 43, 44} {
+		if err := jw.JournalWrite(10+i, id); err != nil {
+			t.Fatalf("JournalWrite(%d, %d): %v", 10+i, id, err)
+		}
+	}
+	for i, id := range []int64{42, 43, 44} {
+		if got := b.Read(10 + i); got != id {
+			t.Fatalf("cell %d = %d, want %d", 10+i, got, id)
+		}
+	}
+
+	doc := obs.NewTracezDoc(tr)
+	if len(doc.Jobs) != 3 {
+		t.Fatalf("server tracer saw %d jobs, want 3: %+v", len(doc.Jobs), doc.Jobs)
+	}
+	for _, j := range doc.Jobs {
+		if j.ID < 42 || j.ID > 44 {
+			t.Fatalf("server traced unexpected job %d", j.ID)
+		}
+		if len(j.Events) != 1 || j.Events[0].Event != "journaled" || j.Events[0].Shard != -1 {
+			t.Fatalf("job %d server events = %+v, want one journaled at shard -1", j.ID, j.Events)
+		}
+		if j.Events[0].Inc != doc.Incarnation || j.Events[0].TS == 0 {
+			t.Fatalf("job %d journal event missing stitching fields: %+v", j.ID, j.Events[0])
+		}
+	}
+
+	// Out-of-bounds journal writes are per-op errors, not client deaths:
+	// the connection survives for the next operation.
+	if err := jw.JournalWrite(4096, 99); err == nil || !strings.Contains(err.Error(), "journal addr") {
+		t.Fatalf("out-of-bounds JournalWrite err = %v", err)
+	}
+	if err := jw.JournalWrite(11, 52); err != nil {
+		t.Fatalf("journal write after bad-addr error: %v", err)
+	}
+	if got := b.Read(11); got != 52 {
+		t.Fatalf("cell 11 = %d after rewrite, want 52", got)
+	}
+}
+
+// TestJournalWriteNoTracer: a server without a tracer still applies
+// journal writes (the capability degrades to an acked write).
+func TestJournalWriteNoTracer(t *testing.T) {
+	addr := testServerAddr(t)
+	b, err := membackend.Open(fmt.Sprintf("net:%s/%s", addr, uniqueNS()), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	jw := b.(membackend.JournalWriter)
+	if err := jw.JournalWrite(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Read(3); got != 7 {
+		t.Fatalf("cell 3 = %d, want 7", got)
+	}
+}

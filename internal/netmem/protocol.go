@@ -63,6 +63,7 @@ const (
 	opFill      byte = 8  // epoch u64, addr u64, count u32, val i64 → opAck
 	opCAS       byte = 9  // epoch u64, addr u64, old i64, new i64   → opCASResult
 	opSync      byte = 10 // (empty)                      → opAck
+	opJournal   byte = 11 // epoch u64, addr u64, id u64  → opAck; a write that names its job
 
 	// Server → client.
 	opAck       byte = 16 // (empty)

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
 )
 
 // ServerOptions configures a register server.
@@ -27,6 +29,12 @@ type ServerOptions struct {
 	// Logf, when non-nil, receives one line per connection, namespace
 	// and lease event.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records a server-side TraceJournaled event
+	// (shard -1) for every opJournal write, keyed by the job id on the
+	// wire. This is the server's contribution to cross-process timeline
+	// stitching: the journal write is observed even if the writing
+	// dispatcher dies before its own tracer is scraped.
+	Tracer *obs.Tracer
 }
 
 // Server owns the register namespaces and serves the wire protocol.
@@ -210,6 +218,8 @@ func (s *Server) getNamespace(name string, size int) (ns *namespace, reopened bo
 	ns.cond = sync.NewCond(&ns.mu)
 	s.nss[name] = ns
 	s.logf("netmem: namespace %q opened (%s, %d cells, reopened=%v)", name, spec, size, reopened)
+	eventlog.Logger().Info("netmem_server_namespace_open",
+		"namespace", name, "spec", spec, "cells", size, "reopened", reopened)
 	return ns, reopened, nil
 }
 
@@ -258,12 +268,16 @@ func (ns *namespace) acquire(srv *Server, clientID uint64, ttl time.Duration, wa
 		}
 		now := time.Now()
 		if ns.holderID == 0 || ns.holderID == clientID || now.After(ns.deadline) {
+			oldEpoch := ns.epoch
 			ns.epoch++
 			ns.holderID = clientID
 			ns.ttl = ttl
 			ns.deadline = now.Add(ttl)
 			srv.logf("netmem: namespace %q lease granted: epoch %d, client %#x, ttl %s",
 				ns.name, ns.epoch, clientID, ttl)
+			eventlog.Logger().Info("netmem_server_lease_granted",
+				"namespace", ns.name, "old_epoch", oldEpoch, "new_epoch", ns.epoch,
+				"client", fmt.Sprintf("%#x", clientID), "ttl", ttl)
 			return ns.epoch, ttl, nil
 		}
 		if !wait {
@@ -339,11 +353,14 @@ func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
 	srvConns.Add(1)
 	defer srvConns.Add(-1)
+	remote := c.RemoteAddr().String()
+	eventlog.Logger().Debug("netmem_server_conn_open", "remote", remote)
 	defer func() {
 		c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
+		eventlog.Logger().Debug("netmem_server_conn_closed", "remote", remote)
 	}()
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
@@ -359,6 +376,14 @@ func (s *Server) handle(c net.Conn) {
 	replyErr := func(seq uint32, we *wireError) bool {
 		if we.code == codeFenced {
 			srvFencedRejs.Inc()
+			nsName := ""
+			if ns != nil {
+				nsName = ns.name
+			}
+			// The detail text carries both epochs: the offender's stale
+			// stamp and the lease's current one.
+			eventlog.Logger().Warn("netmem_server_fenced_rejection",
+				"namespace", nsName, "remote", remote, "detail", we.msg)
 		}
 		scratch = scratch[:0]
 		scratch = appendU16(scratch, we.code)
@@ -520,6 +545,42 @@ func (s *Server) handle(c net.Conn) {
 			}
 			if werr := ns.applyMut(epoch, func() *wireError {
 				ns.bk.Write(int(addr), val)
+				return nil
+			}); werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			ok = reply(seq, opAck, nil)
+
+		case opJournal:
+			epoch := d.u64()
+			addr := d.u64()
+			id := d.u64()
+			if d.done() != nil || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.done() == nil, ns))
+				break
+			}
+			if addr >= uint64(ns.size) {
+				ok = replyErr(seq, &wireError{codeBadAddr, fmt.Sprintf("journal addr %d ≥ size %d", addr, ns.size)})
+				break
+			}
+			if werr := ns.applyMut(epoch, func() *wireError {
+				// Same durability and fencing semantics as an acked
+				// opWrite; the id names the job so the server can witness
+				// the journal write in its own tracer (shard -1 marks the
+				// entry as a server-side observation).
+				if jw, okj := ns.bk.(membackend.JournalWriter); okj {
+					if err := jw.JournalWrite(int(addr), id); err != nil {
+						return &wireError{codeBackend, err.Error()}
+					}
+				} else if aw, oka := ns.bk.(membackend.AckedWriter); oka {
+					if err := aw.WriteAcked(int(addr), int64(id)); err != nil {
+						return &wireError{codeBackend, err.Error()}
+					}
+				} else {
+					ns.bk.Write(int(addr), int64(id))
+				}
+				s.opts.Tracer.Record(id, obs.TraceJournaled, -1)
 				return nil
 			}); werr != nil {
 				ok = replyErr(seq, werr)

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// incarnation is this process's forensic identity: a random 64-bit id
+// drawn once at startup. Every trace entry and event-log record is
+// stamped with it, which is what makes cross-process timelines
+// stitchable after the fact: two processes that opened the same durable
+// namespace (an incumbent dispatcher and its successor, or the register
+// server between them) produce records that name WHICH life of the
+// system wrote them, even though job ids — deliberately — repeat across
+// incarnations. A PID cannot play this role (PIDs recycle, and the
+// interesting comparisons cross machine boundaries); a random 64-bit
+// draw collides with probability ~n²/2⁶⁵ over n processes, which is
+// negligible at any fleet size this system will see.
+var incarnation = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading incarnation randomness: %v", err))
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1 // never 0: 0 means "unstamped"
+}()
+
+// incarnationStr caches the canonical %016x rendering; it is stamped on
+// every sink log line, so formatting it once matters.
+var incarnationStr = fmt.Sprintf("%016x", incarnation)
+
+// Incarnation returns this process's random per-startup id.
+func Incarnation() uint64 { return incarnation }
+
+// IncarnationString returns the id in its canonical form: 16 lowercase
+// hex digits. String (not raw uint64) is also the JSON wire form — a
+// 64-bit integer would silently lose precision in any consumer that
+// parses JSON numbers as float64.
+func IncarnationString() string { return incarnationStr }
+
+// FormatIncarnation renders any incarnation id in the canonical form
+// IncarnationString uses for this process's own.
+func FormatIncarnation(inc uint64) string { return fmt.Sprintf("%016x", inc) }

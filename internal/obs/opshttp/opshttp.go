@@ -1,9 +1,12 @@
 // Package opshttp is the engine's ops endpoint: a small HTTP mux over
 // one or more obs registries serving Prometheus exposition (/metrics),
 // liveness (/healthz), a JSON stats snapshot (/statsz), sampled job
-// timelines (/tracez) and the stdlib profiler (/debug/pprof/*). The
-// Dispatcher mounts it when DispatcherConfig.MetricsAddr is set, and
-// amo-regd reuses the same mux behind its -metrics flag.
+// timelines (/tracez), the process flight recorder (/flightz) and the
+// stdlib profiler (/debug/pprof/*). The Dispatcher mounts it when
+// DispatcherConfig.MetricsAddr is set, and amo-regd reuses the same mux
+// behind its -metrics flag. Importing this package also pulls in
+// procmetrics, so every ops endpoint's /metrics carries Go runtime
+// health (GC, heap, goroutines, sched latency) and amo_build_info.
 package opshttp
 
 import (
@@ -12,9 +15,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
+	_ "atmostonce/internal/obs/procmetrics" // register runtime + build-info metrics in obs.Default
 )
 
 // Options configures the mux.
@@ -69,7 +75,36 @@ func NewMux(o Options) *http.ServeMux {
 		writeJSON(w, doc)
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, tracezDoc(o.Tracer))
+		doc := obs.NewTracezDoc(o.Tracer)
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad id %q: %v", idStr, err), http.StatusBadRequest)
+				return
+			}
+			jobs := doc.Jobs[:0]
+			for _, j := range doc.Jobs {
+				if j.ID == id {
+					jobs = append(jobs, j)
+				}
+			}
+			doc.Jobs = jobs
+		}
+		if limStr := r.URL.Query().Get("limit"); limStr != "" {
+			lim, err := strconv.Atoi(limStr)
+			if err != nil || lim < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", limStr), http.StatusBadRequest)
+				return
+			}
+			if lim < len(doc.Jobs) {
+				doc.Jobs = doc.Jobs[:lim]
+			}
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/flightz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = eventlog.WriteFlight(w, nil, "on-demand")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -77,38 +112,6 @@ func NewMux(o Options) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// tracezEvent and tracezJob are the stable /tracez JSON shape; t_us is
-// microseconds since the job's first recorded event.
-type tracezEvent struct {
-	Event string  `json:"event"`
-	Shard int32   `json:"shard"`
-	TUs   float64 `json:"t_us"`
-}
-
-type tracezJob struct {
-	ID     uint64        `json:"id"`
-	Events []tracezEvent `json:"events"`
-}
-
-func tracezDoc(tr *obs.Tracer) map[string]any {
-	jobs := []tracezJob{}
-	if tr != nil {
-		for _, tl := range tr.Timelines() {
-			j := tracezJob{ID: tl.ID, Events: make([]tracezEvent, len(tl.Events))}
-			t0 := tl.Events[0].TS
-			for i, e := range tl.Events {
-				j.Events[i] = tracezEvent{
-					Event: e.Event.String(),
-					Shard: e.Shard,
-					TUs:   float64(e.TS-t0) / 1e3,
-				}
-			}
-			jobs = append(jobs, j)
-		}
-	}
-	return map[string]any{"jobs": jobs}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
 )
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -122,6 +123,96 @@ func TestServeEndpoints(t *testing.T) {
 
 	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != 200 {
 		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestForensicEndpoints: /tracez's id= and limit= filters (including
+// their 400 paths) and the /flightz flight-recorder dump.
+func TestForensicEndpoints(t *testing.T) {
+	tr := obs.NewTracer(1, 64)
+	tr.Record(7, obs.TraceSubmitted, 0)
+	tr.Record(7, obs.TraceStarted, 0)
+	tr.Record(9, obs.TraceSubmitted, 1)
+	tr.Record(11, obs.TraceSubmitted, 1)
+	srv, err := Serve("127.0.0.1:0", Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	parse := func(body []byte) obs.TracezDoc {
+		t.Helper()
+		doc, err := obs.ParseTracezDoc(body)
+		if err != nil {
+			t.Fatalf("tracez body invalid: %v\n%s", err, body)
+		}
+		return doc
+	}
+
+	code, body := get(t, base+"/tracez")
+	if code != 200 {
+		t.Fatalf("/tracez = %d", code)
+	}
+	doc := parse(body)
+	if doc.Incarnation != obs.IncarnationString() || len(doc.Jobs) != 3 {
+		t.Fatalf("/tracez = %s", body)
+	}
+	for _, j := range doc.Jobs {
+		for _, e := range j.Events {
+			if e.Inc != doc.Incarnation || e.TS == 0 {
+				t.Fatalf("event missing stitching fields: %+v", e)
+			}
+		}
+	}
+
+	code, body = get(t, base+"/tracez?id=7")
+	if code != 200 {
+		t.Fatalf("/tracez?id=7 = %d", code)
+	}
+	if doc = parse(body); len(doc.Jobs) != 1 || doc.Jobs[0].ID != 7 || len(doc.Jobs[0].Events) != 2 {
+		t.Fatalf("/tracez?id=7 = %s", body)
+	}
+
+	code, body = get(t, base+"/tracez?id=999")
+	if code != 200 {
+		t.Fatalf("/tracez?id=999 = %d", code)
+	}
+	if doc = parse(body); len(doc.Jobs) != 0 {
+		t.Fatalf("/tracez?id=999 should filter to nothing: %s", body)
+	}
+
+	code, body = get(t, base+"/tracez?limit=2")
+	if code != 200 {
+		t.Fatalf("/tracez?limit=2 = %d", code)
+	}
+	if doc = parse(body); len(doc.Jobs) != 2 {
+		t.Fatalf("/tracez?limit=2 = %s", body)
+	}
+
+	for _, bad := range []string{"/tracez?id=banana", "/tracez?id=-1", "/tracez?limit=banana", "/tracez?limit=-1"} {
+		if code, body = get(t, base+bad); code != http.StatusBadRequest {
+			t.Errorf("%s = %d %s, want 400", bad, code, body)
+		}
+	}
+
+	code, body = get(t, base+"/flightz")
+	if code != 200 {
+		t.Fatalf("/flightz = %d", code)
+	}
+	var dump eventlog.FlightDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("/flightz not a FlightDump: %v\n%s", err, body)
+	}
+	if dump.Incarnation != obs.IncarnationString() || dump.Reason != "on-demand" {
+		t.Fatalf("/flightz header = %q %q", dump.Incarnation, dump.Reason)
+	}
+	// The process-default ring has at least the records this test's
+	// logging produced — assert shape, not contents.
+	for _, e := range dump.Events {
+		if e.Event == "" || e.Seq == 0 {
+			t.Fatalf("/flightz malformed record: %+v", e)
+		}
 	}
 }
 

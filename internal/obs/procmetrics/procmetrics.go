@@ -1,0 +1,176 @@
+// Package procmetrics bridges the Go runtime's own telemetry
+// (runtime/metrics) into the process-default internal/obs registry, so
+// every binary that serves /metrics exposes process health — GC pauses,
+// heap size, goroutine count, scheduler latency — next to the amo_*
+// application families. Importing the package (opshttp does it for
+// every ops server) is the whole integration: registration happens in
+// init, and samples are taken lazily when a scrape reads the gauges.
+//
+// It also registers amo_build_info, the conventional "what exactly is
+// running" gauge: constant value 1 with the Go version, VCS revision,
+// and module version as labels, read from debug.ReadBuildInfo.
+package procmetrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"atmostonce/internal/obs"
+)
+
+// sampleNames is the fixed set of runtime metrics we read. Reading a
+// fixed batch keeps each refresh to one metrics.Read call.
+var sampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// sampler caches one metrics.Read batch for refreshEvery, so a scrape
+// that reads a dozen gauges costs one runtime sample, and concurrent
+// scrapes don't stampede the runtime.
+type sampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	taken   time.Time
+}
+
+const refreshEvery = 250 * time.Millisecond
+
+var proc = &sampler{}
+
+func (s *sampler) refreshLocked() {
+	if s.samples == nil {
+		s.samples = make([]metrics.Sample, len(sampleNames))
+		for i, n := range sampleNames {
+			s.samples[i].Name = n
+		}
+	}
+	metrics.Read(s.samples)
+	s.taken = time.Now()
+}
+
+// uint64Value returns the named metric as a uint64 (0 when the runtime
+// doesn't publish it — KindBad guards against running under a future
+// runtime that dropped a name).
+func (s *sampler) uint64Value(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.taken) > refreshEvery {
+		s.refreshLocked()
+	}
+	for i := range s.samples {
+		if s.samples[i].Name == name && s.samples[i].Value.Kind() == metrics.KindUint64 {
+			return s.samples[i].Value.Uint64()
+		}
+	}
+	return 0
+}
+
+// quantile returns the q-quantile of the named Float64Histogram metric
+// in seconds (0 when absent or empty). Buckets are cumulative-walked;
+// the matched bucket's upper bound is reported, falling back to the
+// lower bound at the +Inf tail so the result is always finite.
+func (s *sampler) quantile(name string, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.taken) > refreshEvery {
+		s.refreshLocked()
+	}
+	for i := range s.samples {
+		if s.samples[i].Name != name || s.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		return histQuantile(s.samples[i].Value.Float64Histogram(), q)
+	}
+	return 0
+}
+
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Buckets[i+1] is the bucket's upper bound; at the +Inf
+			// tail report the finite lower bound instead.
+			hi := h.Buckets[i+1]
+			if hi > 1e300 || hi != hi { // +Inf or NaN
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+func registerQuantiles(name, help, metric string) {
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"1", 1}} {
+		q := q
+		obs.Default.GaugeFunc(name, help,
+			func() float64 { return proc.quantile(metric, q.v) }, "q", q.label)
+	}
+}
+
+func buildInfoLabels() (goversion, revision, version string) {
+	goversion, revision, version = runtime.Version(), "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+		}
+	}
+	return
+}
+
+func init() {
+	obs.Default.GaugeFunc("amo_runtime_goroutines",
+		"Live goroutines in this process.",
+		func() float64 { return float64(proc.uint64Value("/sched/goroutines:goroutines")) })
+	obs.Default.GaugeFunc("amo_runtime_heap_objects_bytes",
+		"Bytes of memory occupied by live heap objects plus dead-not-yet-swept objects.",
+		func() float64 { return float64(proc.uint64Value("/memory/classes/heap/objects:bytes")) })
+	obs.Default.GaugeFunc("amo_runtime_memory_total_bytes",
+		"Total bytes of memory mapped by the Go runtime.",
+		func() float64 { return float64(proc.uint64Value("/memory/classes/total:bytes")) })
+	obs.Default.CounterFunc("amo_runtime_gc_cycles_total",
+		"Completed GC cycles.",
+		func() uint64 { return proc.uint64Value("/gc/cycles/total:gc-cycles") })
+	registerQuantiles("amo_runtime_gc_pause_seconds",
+		"Quantiles of GC stop-the-world pause latency.", "/gc/pauses:seconds")
+	registerQuantiles("amo_runtime_sched_latency_seconds",
+		"Quantiles of goroutine scheduling latency (runnable to running).", "/sched/latencies:seconds")
+
+	goversion, revision, version := buildInfoLabels()
+	obs.Default.Gauge("amo_build_info",
+		"Build identity of this binary; value is always 1.",
+		"goversion", goversion, "revision", revision, "version", version).Set(1)
+}

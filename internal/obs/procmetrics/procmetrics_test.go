@@ -1,0 +1,129 @@
+package procmetrics
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+
+	"atmostonce/internal/obs"
+)
+
+// TestRuntimeFamiliesExposed: importing the package (init) registers the
+// runtime-health families and amo_build_info into obs.Default, and the
+// rendered exposition stays valid.
+func TestRuntimeFamiliesExposed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition with runtime families invalid: %v\n%s", err, body)
+	}
+	for _, fam := range []string{
+		"amo_runtime_goroutines",
+		"amo_runtime_heap_objects_bytes",
+		"amo_runtime_memory_total_bytes",
+		"amo_runtime_gc_cycles_total",
+		"amo_runtime_gc_pause_seconds",
+		"amo_runtime_sched_latency_seconds",
+		"amo_build_info",
+	} {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing %s family", fam)
+		}
+	}
+	// A live process always has at least this test's goroutine.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "amo_runtime_goroutines ") {
+			if strings.TrimPrefix(line, "amo_runtime_goroutines ") == "0" {
+				t.Errorf("goroutine gauge reads 0 in a live process")
+			}
+			return
+		}
+	}
+	t.Error("no amo_runtime_goroutines sample line")
+}
+
+// TestBuildInfo: the build-info gauge has value 1 and carries the
+// running Go version as a label.
+func TestBuildInfo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "amo_build_info{") {
+			continue
+		}
+		found = true
+		if !strings.Contains(line, `goversion="`+runtime.Version()+`"`) {
+			t.Errorf("build info lacks the running Go version: %s", line)
+		}
+		if !strings.HasSuffix(line, " 1") {
+			t.Errorf("build info value != 1: %s", line)
+		}
+		if !strings.Contains(line, `revision="`) || !strings.Contains(line, `version="`) {
+			t.Errorf("build info lacks revision/version labels: %s", line)
+		}
+	}
+	if !found {
+		t.Fatal("no amo_build_info sample")
+	}
+}
+
+// TestHistQuantile exercises the bucket walk directly: median and max of
+// a known distribution, the +Inf tail falling back to the finite lower
+// bound, and the empty histogram.
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 6, 2},
+		Buckets: []float64{0, 0.001, 0.01, 0.1},
+	}
+	if got := histQuantile(h, 0.5); got != 0.01 {
+		t.Errorf("q0.5 = %v, want 0.01", got)
+	}
+	if got := histQuantile(h, 0); got != 0.001 {
+		t.Errorf("q0 = %v, want 0.001", got)
+	}
+	if got := histQuantile(h, 1); got != 0.1 {
+		t.Errorf("q1 = %v, want 0.1", got)
+	}
+
+	tail := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 1},
+		Buckets: []float64{0, 0.5, math.Inf(1)},
+	}
+	if got := histQuantile(tail, 1); got != 0.5 {
+		t.Errorf("q1 at +Inf tail = %v, want lower bound 0.5", got)
+	}
+
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.99); got != 0 {
+		t.Errorf("empty histogram = %v, want 0", got)
+	}
+	if got := histQuantile(nil, 0.5); got != 0 {
+		t.Errorf("nil histogram = %v, want 0", got)
+	}
+}
+
+// TestSamplerLive: the goroutine count from the cached sampler is
+// plausible and the GC quantiles are non-negative and finite.
+func TestSamplerLive(t *testing.T) {
+	if n := proc.uint64Value("/sched/goroutines:goroutines"); n == 0 {
+		t.Error("sampler reports 0 goroutines in a live process")
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		v := proc.quantile("/gc/pauses:seconds", q)
+		if v < 0 || v > 1e300 || v != v {
+			t.Errorf("gc pause q%v = %v, want finite non-negative", q, v)
+		}
+	}
+	if v := proc.uint64Value("/not/a/metric:units"); v != 0 {
+		t.Errorf("unknown metric = %d, want 0", v)
+	}
+}

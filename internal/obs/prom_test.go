@@ -82,6 +82,20 @@ func TestParseExpositionRejects(t *testing.T) {
 		"non-cumulative hist": "# TYPE amo_h histogram\namo_h_bucket{le=\"1\"} 5\namo_h_bucket{le=\"2\"} 3\n",
 		"le not ascending":    "# TYPE amo_h histogram\namo_h_bucket{le=\"2\"} 1\namo_h_bucket{le=\"1\"} 2\n",
 		"empty input":         "",
+		// Comment-grammar and ordering paths.
+		"truncated HELP":       "# HELP amo_x\namo_x 1\n",
+		"TYPE missing type":    "# TYPE amo_x\namo_x 1\n",
+		"duplicate TYPE":       "# TYPE amo_x counter\n# TYPE amo_x counter\namo_x 1\n",
+		"TYPE on bad name":     "# TYPE amo-x counter\n",
+		"HELP only, no TYPE":   "# HELP amo_x About x.\namo_x 1\n",
+		"dup series w/ labels": "# TYPE amo_x counter\namo_x{s=\"0\"} 1\namo_x{s=\"0\"} 2\n",
+		// Label-grammar paths.
+		"unterminated value": "# TYPE amo_x counter\namo_x{s=\"0} 1\n",
+		"missing comma":      "# TYPE amo_x counter\namo_x{a=\"0\"b=\"1\"} 1\n",
+		"bad label name":     "# TYPE amo_x counter\namo_x{9s=\"0\"} 1\n",
+		// Histogram-grammar paths.
+		"bucket without le": "# TYPE amo_h histogram\namo_h_bucket{s=\"0\"} 1\n",
+		"bad le bound":      "# TYPE amo_h histogram\namo_h_bucket{le=\"pizza\"} 1\namo_h_bucket{le=\"wide\"} 2\n",
 	}
 	for name, in := range cases {
 		if _, err := ParseExposition(strings.NewReader(in)); err == nil {

@@ -49,12 +49,18 @@ func (e TraceEvent) String() string {
 	return "unknown"
 }
 
-// TraceEntry is one recorded event.
+// TraceEntry is one recorded event. TS is wall-clock (Unix nanoseconds)
+// rather than monotonic on purpose: entries from different processes
+// must merge into one timeline (StitchTimelines), and wall clock is the
+// only scale they share. Inc is the recording process's incarnation id
+// (Incarnation()), so a merged timeline can tell an incumbent's events
+// from its successor's even though both use the same job ids.
 type TraceEntry struct {
 	ID    uint64     `json:"id"`
 	Event TraceEvent `json:"-"`
 	Shard int32      `json:"shard"`
 	TS    int64      `json:"ts_unix_nano"`
+	Inc   uint64     `json:"-"`
 }
 
 // Timeline is every recorded event of one job, in record order.
@@ -122,7 +128,7 @@ func (t *Tracer) Record(id uint64, ev TraceEvent, shard int) {
 	if !t.Sampled(id) {
 		return
 	}
-	e := TraceEntry{ID: id, Event: ev, Shard: int32(shard), TS: time.Now().UnixNano()}
+	e := TraceEntry{ID: id, Event: ev, Shard: int32(shard), TS: time.Now().UnixNano(), Inc: incarnation}
 	t.mu.Lock()
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, e)
