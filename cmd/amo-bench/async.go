@@ -211,6 +211,7 @@ func asyncOnce(sh asyncShape, jobs int, backend string) (asyncResult, error) {
 		QueueDepth:      sh.QueueDepth,
 		SubmitPolicy:    atmostonce.Block,
 		Backend:         backend,
+		JournalBatch:    benchJournalBatch,
 		// The async sweep's headline numbers are latencies, so the obs
 		// registry is always on: each point reports the latency
 		// histogram's view of p50/p99 next to the exact percentiles.

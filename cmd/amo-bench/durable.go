@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// durableShape is one sweep point of the group-commit benchmark: a
+// dispatcher shape over the durable mmap backend at a journal
+// group-commit factor. The sweep exists to measure exactly one knob —
+// the same shape at JournalBatch 1 vs 16 — so the committed trajectory
+// captures what batching the msync-per-job journal ack buys.
+type durableShape struct {
+	Shards       int `json:"shards"`
+	Workers      int `json:"workers"`
+	Batch        int `json:"batch"`
+	JournalBatch int `json:"journal_batch"`
+}
+
+// durableResult is one measured sweep point.
+type durableResult struct {
+	durableShape
+	Rounds       uint64  `json:"rounds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	AllocsPerJob float64 `json:"allocs_per_job"`
+	BytesPerJob  float64 `json:"bytes_per_job"`
+}
+
+// durableReport is the -suite document's durable section.
+type durableReport struct {
+	Mode    string `json:"mode"`
+	Jobs    int    `json:"jobs"`
+	Backend string `json:"backend"`
+	// GroupCommitSpeedup is jobs/s at the largest JournalBatch divided
+	// by jobs/s at JournalBatch=1, same shape: the headline number of
+	// the group-commit optimization (each worker pays one msync per
+	// claim of k jobs instead of per job).
+	GroupCommitSpeedup float64         `json:"group_commit_speedup"`
+	Results            []durableResult `json:"results"`
+}
+
+// durableSweep measures the mmap-backed dispatcher at JournalBatch 1
+// and 16 on one modest shape. The stream is short and the warmup
+// shorter than the in-process sweeps': at JournalBatch=1 every job
+// costs a synchronous msync (~100-200µs on typical local disks), so a
+// long stream would measure the disk for minutes without adding
+// information.
+func durableSweep(quick bool) (durableReport, error) {
+	var zero durableReport
+	jobs, warmup, reps := 4000, 500, 3
+	if quick {
+		jobs = 1500
+	}
+	dir, err := os.MkdirTemp("", "amo-bench-durable-*")
+	if err != nil {
+		return zero, err
+	}
+	defer os.RemoveAll(dir)
+
+	report := durableReport{Mode: mode(quick), Jobs: jobs, Backend: "mmap"}
+	base := throughputShape{Shards: 1, Workers: 4, Batch: 256}
+	var jps1 float64
+	for i, jb := range []int{1, 16} {
+		spec := "mmap:" + filepath.Join(dir, fmt.Sprintf("regs.jb%d", jb))
+		st, err := streamMedian(base, jobs, warmup, jb, reps, shapeSpec(spec, i))
+		if err != nil {
+			return zero, err
+		}
+		report.Results = append(report.Results, durableResult{
+			durableShape: durableShape{base.Shards, base.Workers, base.Batch, jb},
+			Rounds:       st.Rounds,
+			JobsPerSec:   st.JobsPerSec,
+			AllocsPerJob: st.allocsPerJob,
+			BytesPerJob:  st.bytesPerJob,
+		})
+		if jb == 1 {
+			jps1 = st.JobsPerSec
+		} else if jps1 > 0 {
+			report.GroupCommitSpeedup = st.JobsPerSec / jps1
+		}
+	}
+	return report, nil
+}

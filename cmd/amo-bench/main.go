@@ -15,11 +15,12 @@
 // reports each class's p50/p99 completion latency next to the v1
 // single-ring baseline (the identical stream, all Normal priority),
 // plus the High-p99 speedup.
-// With -suite it runs all three dispatcher sweeps and emits ONE
-// combined JSON document (-pr stamps the PR number) — the schema of the
-// committed BENCH_N.json trajectory files, every report carrying a
-// `meta` block (GOMAXPROCS, NumCPU, go version, git rev, timestamp) so
-// trajectories stay interpretable across machines.
+// With -suite it runs all three dispatcher sweeps plus the durable
+// group-commit sweep (mmap backend, JournalBatch 1 vs 16 on one shape)
+// and emits ONE combined JSON document (-pr stamps the PR number) — the
+// schema of the committed BENCH_N.json trajectory files, every report
+// carrying a `meta` block (GOMAXPROCS, NumCPU, go version, git rev,
+// timestamp) so trajectories stay interpretable across machines.
 // With -compare FILE it is the CI perf gate: it re-runs the sweeps and
 // diffs them against a committed BENCH_N.json, exiting nonzero when any
 // matched sweep point's jobs/sec regressed more than -tolerance
@@ -36,6 +37,9 @@
 // -backend selects the register backend (atomic, mmap[:PATH],
 // net:HOST:PORT/NS, counting:SPEC — see internal/membackend), so the
 // cost of durable journaling — local or networked — is measurable;
+// -journalbatch sets the journal group-commit factor for -throughput
+// and -async (k jobs claimed per durable journal ack instead of one;
+// ignored by in-process backends — see DESIGN.md §14);
 // -json emits the sweep as one JSON document for bench trajectories
 // (BENCH_*.json), including each shape's per-round effectiveness
 // histogram (eff_hist); -metricsaddr serves the benchmark dispatcher's
@@ -47,7 +51,7 @@
 // Usage:
 //
 //	amo-bench [-quick] [-only E3]
-//	amo-bench -throughput [-quick] [-backend mmap] [-json] [-cpuprofile FILE]
+//	amo-bench -throughput [-quick] [-backend mmap] [-journalbatch 16] [-json] [-cpuprofile FILE]
 //	amo-bench -async [-quick] [-backend mmap] [-json] [-metricsaddr :9091]
 //	amo-bench -priority [-quick] [-json]
 //	amo-bench -overhead [-quick] [-overheadtol 0.03]
@@ -81,6 +85,7 @@ func run(args []string) error {
 	async := fs.Bool("async", false, "benchmark the async submission pipeline (per-job completion latency percentiles)")
 	priority := fs.Bool("priority", false, "benchmark priority scheduling: per-class p50/p99 latency for a High burst behind a Low backlog, vs the v1 single-ring baseline")
 	backend := fs.String("backend", "atomic", "register backend for -throughput/-async: atomic, mmap[:PATH] or any membackend spec")
+	journalbatch := fs.Int("journalbatch", 1, "durable journal group-commit factor for -throughput/-async sweeps (ignored by in-process backends; the -suite durable section sweeps it explicitly)")
 	asJSON := fs.Bool("json", false, "emit the -throughput/-async/-priority sweep as JSON instead of Markdown")
 	suite := fs.Bool("suite", false, "run all three dispatcher sweeps and emit one combined JSON document (the BENCH_N.json schema)")
 	pr := fs.Int("pr", 0, "PR number stamped into the -suite document")
@@ -104,6 +109,10 @@ func run(args []string) error {
 	}
 	benchMetricsAddr = *metricsaddr
 	benchMetrics = *metricsaddr != ""
+	if *journalbatch < 1 {
+		return fmt.Errorf("-journalbatch %d must be >= 1", *journalbatch)
+	}
+	benchJournalBatch = *journalbatch
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -188,6 +197,12 @@ var (
 	benchMetrics     bool
 	benchMetricsAddr string
 )
+
+// benchJournalBatch is the -journalbatch group-commit factor applied to
+// the -throughput and -async sweeps' dispatchers (1 = journal per job;
+// meaningful only with a durable/remote -backend). The -suite durable
+// section sweeps the knob explicitly and ignores this.
+var benchJournalBatch = 1
 
 func mode(quick bool) string {
 	if quick {

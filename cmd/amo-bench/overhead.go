@@ -45,7 +45,7 @@ func runOverhead(quick bool, tol float64, backend string) error {
 		collectGarbage()
 		benchMetrics = on
 		defer func() { benchMetrics = false }()
-		st, err := streamOnce(sh, jobs, spec)
+		st, err := streamOnce(sh, jobs, benchWarmup, benchJournalBatch, spec)
 		if err != nil {
 			return 0, err
 		}

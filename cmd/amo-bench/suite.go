@@ -16,6 +16,9 @@ type benchDoc struct {
 	Throughput throughputReport `json:"throughput"`
 	Async      asyncReport      `json:"async"`
 	Priority   priorityReport   `json:"priority"`
+	// Durable is the group-commit sweep (mmap backend, JournalBatch 1 vs
+	// 16); absent from baselines older than PR 7, which -compare skips.
+	Durable durableReport `json:"durable"`
 }
 
 // runSuite runs all three sweeps and emits one combined JSON document —
@@ -44,7 +47,11 @@ func buildSuite(quick bool, pr int, backend string) (benchDoc, error) {
 	if err != nil {
 		return zero, err
 	}
-	return benchDoc{PR: pr, Meta: collectMeta(), Throughput: tr, Async: as, Priority: pri}, nil
+	dur, err := durableSweep(quick)
+	if err != nil {
+		return zero, err
+	}
+	return benchDoc{PR: pr, Meta: collectMeta(), Throughput: tr, Async: as, Priority: pri, Durable: dur}, nil
 }
 
 // runCompare is the CI perf gate: re-run the sweeps, match each sweep
@@ -88,12 +95,37 @@ func runCompare(path string, quick bool, tolerance float64, backend string) erro
 		fmt.Printf("| %s | %.0f | %.0f | %+.1f%% | %s |\n", label, baseJPS, curJPS, delta*100, verdict)
 	}
 
+	// checkAllocs gates -benchmem-style allocs/job on matched points: a
+	// hot path designed around ~0 allocs/job regresses in absolute
+	// steps, not fractions, so the gate is baseline + max(0.25,
+	// base·tolerance) — a quarter of an allocation per job of headroom
+	// over a near-zero baseline, proportional once a baseline carries
+	// real allocations. Baselines older than the field (0) are skipped.
+	// Bytes/job ride along as context, never gated.
+	checkAllocs := func(baseA, curA, baseB, curB float64) {
+		if baseA == 0 {
+			return
+		}
+		slack := 0.25
+		if s := baseA * tolerance; s > slack {
+			slack = s
+		}
+		verdict := "ok"
+		if curA > baseA+slack {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("| ↳ allocs/job (gated) | %.3f | %.3f | %+.3f | %s |\n", baseA, curA, curA-baseA, verdict)
+		fmt.Printf("| ↳ bytes/job (context, not gated) | %.0f | %.0f | %+.0f | — |\n", baseB, curB, curB-baseB)
+	}
+
 	matchedT := make(map[throughputShape]bool)
 	for _, b := range base.Throughput.Results {
 		found := false
 		for _, c := range cur.Throughput.Results {
 			if c.throughputShape == b.throughputShape {
 				check(fmt.Sprintf("throughput %ds/%dw/%db", b.Shards, b.Workers, b.Batch), b.JobsPerSec, c.JobsPerSec)
+				checkAllocs(b.AllocsPerJob, c.AllocsPerJob, b.BytesPerJob, c.BytesPerJob)
 				matchedT[b.throughputShape] = true
 				found = true
 				break
@@ -134,6 +166,30 @@ func runCompare(path string, quick bool, tolerance float64, backend string) erro
 		if !matchedA[c.asyncShape] {
 			fmt.Printf("| async %ds/%dw/%db/q%d%s | — | %.0f | — | new point, skipped |\n",
 				c.Shards, c.Workers, c.Batch, c.QueueDepth, skewTag(c.Skewed), c.JobsPerSec)
+		}
+	}
+
+	matchedD := make(map[durableShape]bool)
+	for _, b := range base.Durable.Results {
+		found := false
+		for _, c := range cur.Durable.Results {
+			if c.durableShape == b.durableShape {
+				check(fmt.Sprintf("durable %ds/%dw/%db/jb%d", b.Shards, b.Workers, b.Batch, b.JournalBatch),
+					b.JobsPerSec, c.JobsPerSec)
+				matchedD[b.durableShape] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("| durable %ds/%dw/%db/jb%d | %.0f | — | — | baseline-only, skipped |\n",
+				b.Shards, b.Workers, b.Batch, b.JournalBatch, b.JobsPerSec)
+		}
+	}
+	for _, c := range cur.Durable.Results {
+		if !matchedD[c.durableShape] {
+			fmt.Printf("| durable %ds/%dw/%db/jb%d | — | %.0f | — | new point, skipped |\n",
+				c.Shards, c.Workers, c.Batch, c.JournalBatch, c.JobsPerSec)
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -34,6 +35,14 @@ type throughputResult struct {
 	// rounds (see atmostonce.DispatcherStats.EffHist).
 	EffHist    []uint64 `json:"eff_hist"`
 	JobsPerSec float64  `json:"jobs_per_sec"`
+	// AllocsPerJob and BytesPerJob are -benchmem-style heap numbers over
+	// the timed stream (runtime.MemStats Mallocs/TotalAlloc deltas per
+	// job, all goroutines — the engine's round loops included). Allocs
+	// are gated by -compare (the steady-state hot path is designed to
+	// allocate ~0 per job; see dispatch's AllocsPerRun tests), bytes are
+	// printed for context.
+	AllocsPerJob float64 `json:"allocs_per_job"`
+	BytesPerJob  float64 `json:"bytes_per_job"`
 }
 
 // throughputReport is the -json document.
@@ -75,11 +84,12 @@ func runThroughput(quick, asJSON bool, backend string) error {
 	fmt.Printf("# Streaming dispatcher throughput (%s mode, %s backend)\n\n", report.Mode, report.Backend)
 	fmt.Printf("%d jobs per shape (median of %d reps after %d warmup jobs); payload = one atomic increment.\n\n",
 		report.Jobs, benchReps, benchWarmup)
-	fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec |")
-	fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|")
+	fmt.Println("| shards | workers/shard | max batch | rounds | carried residue | crashes | jobs/sec | allocs/job | bytes/job |")
+	fmt.Println("|-------:|--------------:|----------:|-------:|----------------:|--------:|---------:|-----------:|----------:|")
 	for _, res := range report.Results {
-		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f |\n",
-			res.Shards, res.Workers, res.Batch, res.Rounds, res.Residue, res.Crashes, res.JobsPerSec)
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f | %.3f | %.0f |\n",
+			res.Shards, res.Workers, res.Batch, res.Rounds, res.Residue, res.Crashes,
+			res.JobsPerSec, res.AllocsPerJob, res.BytesPerJob)
 	}
 	fmt.Println()
 	return nil
@@ -108,7 +118,7 @@ func throughputSweep(quick bool, backend string) (throughputReport, error) {
 
 	report := throughputReport{Mode: mode(quick), Jobs: jobs, Backend: backendLabel(backend), Meta: collectMeta()}
 	for i, sh := range shapes {
-		st, err := streamMedian(sh, jobs, shapeSpec(backend, i))
+		st, err := streamMedian(sh, jobs, benchWarmup, benchJournalBatch, benchReps, shapeSpec(backend, i))
 		if err != nil {
 			return zero, err
 		}
@@ -119,21 +129,31 @@ func throughputSweep(quick bool, backend string) (throughputReport, error) {
 			Crashes:         st.Crashes,
 			EffHist:         append([]uint64(nil), st.EffHist[:]...),
 			JobsPerSec:      st.JobsPerSec,
+			AllocsPerJob:    st.allocsPerJob,
+			BytesPerJob:     st.bytesPerJob,
 		})
 	}
 	return report, nil
 }
 
-// streamMedian runs streamOnce benchReps times — each rep on a fresh
+// streamRun is one streamOnce measurement: the dispatcher's stats plus
+// the timed window's -benchmem-style heap numbers.
+type streamRun struct {
+	atmostonce.DispatcherStats
+	allocsPerJob float64
+	bytesPerJob  float64
+}
+
+// streamMedian runs streamOnce reps times — each rep on a fresh
 // dispatcher (fresh register files for durable backends) — and returns
 // the rep with the median jobs/sec.
-func streamMedian(sh throughputShape, jobs int, backend string) (atmostonce.DispatcherStats, error) {
-	runs := make([]atmostonce.DispatcherStats, 0, benchReps)
-	for r := 0; r < benchReps; r++ {
+func streamMedian(sh throughputShape, jobs, warmup, jbatch, reps int, backend string) (streamRun, error) {
+	runs := make([]streamRun, 0, reps)
+	for r := 0; r < reps; r++ {
 		collectGarbage()
-		st, err := streamOnce(sh, jobs, membackend.WithSuffix(backend, fmt.Sprintf(".rep%d", r)))
+		st, err := streamOnce(sh, jobs, warmup, jbatch, membackend.WithSuffix(backend, fmt.Sprintf(".rep%d", r)))
 		if err != nil {
-			return atmostonce.DispatcherStats{}, err
+			return streamRun{}, err
 		}
 		runs = append(runs, st)
 	}
@@ -173,18 +193,19 @@ func backendLabel(backend string) string {
 	return backend
 }
 
-func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.DispatcherStats, error) {
-	var zero atmostonce.DispatcherStats
+func streamOnce(sh throughputShape, jobs, warmup, jbatch int, backend string) (streamRun, error) {
+	var zero streamRun
 	d, err := atmostonce.NewDispatcher(atmostonce.DispatcherConfig{
 		Shards:          sh.Shards,
 		WorkersPerShard: sh.Workers,
 		MaxBatch:        sh.Batch,
 		Backend:         backend,
+		JournalBatch:    jbatch,
 		Metrics:         benchMetrics,
 		MetricsAddr:     benchMetricsAddr,
 		// Slack beyond the timed jobs: the warmup stream, plus each
 		// shard's possibly part-consumed leased id block.
-		MaxJobs: jobs + benchWarmup + 64*sh.Shards,
+		MaxJobs: jobs + warmup + 64*sh.Shards,
 	})
 	if err != nil {
 		return zero, err
@@ -212,17 +233,23 @@ func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.Dispat
 		return nil
 	}
 	// Warm pools, rings and the round controller outside the timed window.
-	if err := stream(benchWarmup); err != nil {
+	if err := stream(warmup); err != nil {
 		return zero, err
 	}
+	// Mallocs/TotalAlloc deltas over the timed window measure the whole
+	// process — submit goroutine and the engine's round loops alike — so
+	// the numbers are -benchmem for the pipeline, not one goroutine.
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	if err := stream(jobs); err != nil {
 		return zero, err
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 
-	if got := count.Load(); got != uint64(jobs+benchWarmup) {
-		return zero, fmt.Errorf("throughput: performed %d of %d jobs", got, jobs+benchWarmup)
+	if got := count.Load(); got != uint64(jobs+warmup) {
+		return zero, fmt.Errorf("throughput: performed %d of %d jobs", got, jobs+warmup)
 	}
 	st := d.Stats()
 	if st.Duplicates != 0 {
@@ -230,5 +257,9 @@ func streamOnce(sh throughputShape, jobs int, backend string) (atmostonce.Dispat
 	}
 	// Recompute over the measured window rather than dispatcher lifetime.
 	st.JobsPerSec = float64(jobs) / elapsed.Seconds()
-	return st, nil
+	return streamRun{
+		DispatcherStats: st,
+		allocsPerJob:    float64(m1.Mallocs-m0.Mallocs) / float64(jobs),
+		bytesPerJob:     float64(m1.TotalAlloc-m0.TotalAlloc) / float64(jobs),
+	}, nil
 }

@@ -81,6 +81,17 @@ type DispatcherConfig struct {
 	// exhausted. Required when Backend is durable or wrapped; ignored for
 	// the in-process default.
 	MaxJobs int
+	// JournalBatch is the durable journal's group-commit factor (default
+	// 1 = one acknowledged journal write per job). At k > 1 each worker
+	// claims up to k jobs per journal write: all k ids land in one
+	// vectored acked write (one msync for mmap, one round trip for net)
+	// before any of their payloads run, so at-most-once still holds
+	// across process death — but a kill between the batch write and the
+	// payloads loses up to k jobs per worker to effectiveness (recovery
+	// counts them performed; they are never re-run and never duplicated).
+	// See DESIGN.md §14 for the crash-window analysis. Ignored for the
+	// in-process default backend.
+	JournalBatch int
 	// Metrics enables the dispatcher's metric registry (Registry,
 	// LatencyQuantiles). MetricsAddr, TraceSampleRate and Expvar each
 	// imply it.
@@ -229,6 +240,7 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 			return membackend.Open(membackend.ShardSpec(spec, shard), size)
 		}
 		dcfg.MaxJobs = cfg.MaxJobs
+		dcfg.JournalBatch = cfg.JournalBatch
 	}
 	d, err := dispatch.New(dcfg)
 	if err != nil {

@@ -40,6 +40,13 @@ type RuntimeOptions struct {
 	// caller can co-locate its own durable state (journals, metadata) in
 	// the same register file. Only meaningful with Mem.
 	MemBase int
+	// Flush, when non-nil, is invoked by each worker (1-based id) after
+	// its step loop ends — normal termination AND injected crash alike —
+	// and before the round settles, so per-worker work a payload deferred
+	// (the dispatcher's group-commit journal claims) is completed inside
+	// the round that produced it. It runs on the worker's goroutine; the
+	// round is not considered settled until every worker's Flush returns.
+	Flush func(worker int)
 }
 
 // RoundResult reports one executed round. The struct and its Unperformed
@@ -82,6 +89,7 @@ type Runtime struct {
 	cap    int
 	jitter bool
 	seed   int64
+	flush  func(worker int)
 
 	mem   shmem.Mem
 	lay   core.Layout
@@ -116,6 +124,7 @@ func NewRuntime(o RuntimeOptions) (*Runtime, error) {
 		cap:    o.Capacity,
 		jitter: o.Jitter,
 		seed:   o.Seed,
+		flush:  o.Flush,
 		// Padded: each worker's write-hot next cell gets its own cache
 		// line, so neighboring workers (and neighboring shards sharing
 		// one register file) stop false-sharing on the set_next path.
@@ -195,6 +204,14 @@ func (r *Runtime) workerLoop(idx int) {
 			}
 		}
 		r.steps[idx] = steps
+		if r.flush != nil {
+			// Even a crashed worker flushes: an injected crash stops the
+			// ALGORITHM mid-round (the paper's model), not the process, and
+			// jobs the worker already claimed are marked done in the round —
+			// their deferred payloads must still run, or a live process
+			// would report jobs performed whose payloads never executed.
+			r.flush(idx + 1)
+		}
 		r.wg.Done()
 	}
 }

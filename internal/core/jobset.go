@@ -1,0 +1,77 @@
+package core
+
+import (
+	"atmostonce/internal/denseset"
+	"atmostonce/internal/oset"
+)
+
+// JobSet is the set abstraction behind a process's FREE, DONE and TRY
+// state variables. Two implementations exist: a bitmap set for the dense
+// job universes of the round-based runtime (ProcOptions.Jobs == nil, ids
+// contiguous in [1..Universe] — the hot path, where Insert/Delete/
+// Contains are one word operation each), and the red-black
+// order-statistic tree for sparse inputs (IterativeKK super-job sets,
+// harness tests over arbitrary subsets). Within one process all three
+// sets share an implementation, so SelectExcluding always sees an
+// exclusion set of its own kind and dispatches to the native
+// rank(SET1, SET2, i).
+type JobSet interface {
+	Len() int
+	Contains(v int) bool
+	Insert(v int) bool
+	Delete(v int) bool
+	Clear()
+	ResetRange(lo, hi int)
+	Ascend(fn func(v int) bool)
+	// SelectExcluding returns the element of rank i (1-indexed) in the
+	// set difference s \ excl — the paper's rank(SET1, SET2, i).
+	SelectExcluding(excl JobSet, i int) (v int, ok bool)
+	Reserve(n int)
+	ReserveSelectScratch(n int)
+	CloneSet() JobSet
+}
+
+// denseJobSet adapts denseset.Set to JobSet. All methods except the two
+// below are promoted from the embedded set.
+type denseJobSet struct{ *denseset.Set }
+
+func (d denseJobSet) SelectExcluding(excl JobSet, i int) (int, bool) {
+	if e, ok := excl.(denseJobSet); ok {
+		return d.Set.SelectExcluding(e.Set, i)
+	}
+	return genericSelectExcluding(d, excl, i)
+}
+
+func (d denseJobSet) CloneSet() JobSet { return denseJobSet{d.Set.Clone()} }
+
+// treeJobSet adapts oset.Set to JobSet.
+type treeJobSet struct{ *oset.Set }
+
+func (t treeJobSet) SelectExcluding(excl JobSet, i int) (int, bool) {
+	if e, ok := excl.(treeJobSet); ok {
+		return t.Set.SelectExcluding(e.Set, i)
+	}
+	return genericSelectExcluding(t, excl, i)
+}
+
+func (t treeJobSet) CloneSet() JobSet { return treeJobSet{t.Set.Clone()} }
+
+// genericSelectExcluding handles the mixed-implementation case, which a
+// Proc never produces; it exists so JobSet stays total. O(n) scan.
+func genericSelectExcluding(s, excl JobSet, i int) (v int, ok bool) {
+	if i < 1 {
+		return 0, false
+	}
+	s.Ascend(func(e int) bool {
+		if excl.Contains(e) {
+			return true
+		}
+		i--
+		if i == 0 {
+			v, ok = e, true
+			return false
+		}
+		return true
+	})
+	return v, ok
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"atmostonce/internal/denseset"
 	"atmostonce/internal/oset"
 	"atmostonce/internal/shmem"
 	"atmostonce/internal/sim"
@@ -83,9 +84,9 @@ type Proc struct {
 
 	phase     Phase
 	termGath  bool // gather pass is the §6 terminating recomputation
-	free      *oset.Set
-	done      *oset.Set
-	try       *oset.Set
+	free      JobSet
+	done      JobSet
+	try       JobSet
 	pos       []int // pos[q], 1-based; pos[0] unused
 	next      int64
 	q         int
@@ -98,6 +99,14 @@ type Proc struct {
 	out        *oset.Set // output set on termination (IterStepKK)
 	outBuf     *oset.Set // reusable backing storage for out across Resets
 	tryCulprit int       // process blamed for a pending collision on next
+
+	// Pre-bound Ascend callbacks. Built once in NewProc and reused so the
+	// hot path never materializes a closure: a literal passed to an
+	// interface method escapes, and the round loop must stay
+	// allocation-free.
+	inFreeCount int
+	countInFree func(v int) bool
+	emitOutput  func(v int) bool
 }
 
 var _ sim.Process = (*Proc)(nil)
@@ -115,9 +124,21 @@ func NewProc(o ProcOptions) *Proc {
 	if sink == nil {
 		sink = nopSink{}
 	}
-	jobs := o.Jobs
-	if jobs == nil {
-		jobs = oset.NewRange(1, o.Universe)
+	// A nil Jobs means the dense universe [1..Universe] — the round-based
+	// runtime's case — where the bitmap implementation turns every
+	// FREE/DONE/TRY operation on the round path into word arithmetic. An
+	// explicit Jobs set (sparse super-jobs, arbitrary test subsets) keeps
+	// the order-statistic tree. All three sets must share a kind; see
+	// JobSet.
+	var free, done, try JobSet
+	if o.Jobs == nil {
+		free = denseJobSet{denseset.NewRange(1, o.Universe)}
+		done = denseJobSet{denseset.New()}
+		try = denseJobSet{denseset.New()}
+	} else {
+		free = treeJobSet{o.Jobs}
+		done = treeJobSet{oset.New()}
+		try = treeJobSet{oset.New()}
 	}
 	p := &Proc{
 		id:       o.ID,
@@ -134,16 +155,36 @@ func NewProc(o ProcOptions) *Proc {
 		noCache:  o.NoPosCache,
 		lgN:      ceilLog2(o.Universe + 1),
 		phase:    PhaseCompNext,
-		free:     jobs,
-		done:     oset.New(),
-		try:      oset.New(),
+		free:     free,
+		done:     done,
+		try:      try,
 		pos:      make([]int, o.M+1),
 		q:        1,
 	}
 	for i := 1; i <= o.M; i++ {
 		p.pos[i] = 1
 	}
+	p.bindCallbacks()
 	return p
+}
+
+// bindCallbacks (re)builds the pre-bound Ascend callbacks so they
+// capture this Proc. Called from NewProc and again after Clone /
+// RestoreFrom, where copying the fields verbatim would leave closures
+// over another instance's sets.
+func (p *Proc) bindCallbacks() {
+	p.countInFree = func(v int) bool {
+		if p.free.Contains(v) {
+			p.inFreeCount++
+		}
+		return true
+	}
+	p.emitOutput = func(v int) bool {
+		if p.retFree || !p.try.Contains(v) {
+			p.outBuf.Insert(v)
+		}
+		return true
+	}
 }
 
 // ID implements sim.Process.
@@ -295,13 +336,9 @@ func (p *Proc) chargeSet(k int) {
 func (p *Proc) stepCompNext() {
 	// |FREE \ TRY|: TRY holds announcements by other processes, which may
 	// or may not still be in FREE.
-	inFree := 0
-	p.try.Ascend(func(v int) bool {
-		if p.free.Contains(v) {
-			inFree++
-		}
-		return true
-	})
+	p.inFreeCount = 0
+	p.try.Ascend(p.countInFree)
+	inFree := p.inFreeCount
 	p.chargeSet(p.try.Len() + 1)
 	if p.free.Len()-inFree < p.beta {
 		if p.iterStep {
@@ -493,12 +530,7 @@ func (p *Proc) terminate() {
 	} else {
 		p.outBuf.Clear()
 	}
-	p.free.Ascend(func(v int) bool {
-		if p.retFree || !p.try.Contains(v) {
-			p.outBuf.Insert(v)
-		}
-		return true
-	})
+	p.free.Ascend(p.emitOutput)
 	p.out = p.outBuf
 	p.phase = PhaseEnd
 }

@@ -1,0 +1,264 @@
+// Package denseset provides a bitmap-backed integer set specialized for
+// the dense job universes of the round-based runtime, where ids within a
+// round live in a small contiguous range [1..batch].
+//
+// It mirrors the subset of the internal/oset API that core.Proc uses for
+// its FREE, DONE and TRY sets, trading the red-black tree's O(log n)
+// pointer-chasing operations for O(1) word arithmetic: Insert, Delete and
+// Contains touch one word; Select and SelectExcluding scan words with
+// popcounts (O(n/64)), which for round-sized universes is a handful of
+// cache lines. SelectExcluding — the paper's rank(SET1, SET2, i) — is
+// computed directly over the word-wise difference free &^ try, with no
+// snapshot or fixpoint iteration.
+//
+// The sparse consumers (IterativeKK's super-job inputs, harness tests over
+// arbitrary subsets) keep using internal/oset; core.Proc picks the
+// implementation per instance (see core.JobSet).
+package denseset
+
+import "math/bits"
+
+// Set is a bitmap set of non-negative ints. The zero value is an empty
+// set; storage grows on demand and is retained across Clear/ResetRange,
+// so a set that is repeatedly filled and cleared to a similar size
+// reaches a steady state where no operation allocates (the property the
+// round-based runtime's hot path depends on — see Reserve).
+type Set struct {
+	words []uint64
+	n     int // element count
+}
+
+// New returns an empty set. If keys are given they are inserted.
+func New(keys ...int) *Set {
+	s := &Set{}
+	for _, k := range keys {
+		s.Insert(k)
+	}
+	return s
+}
+
+// NewRange returns the set {lo, lo+1, ..., hi}.
+func NewRange(lo, hi int) *Set {
+	s := &Set{}
+	s.ResetRange(lo, hi)
+	return s
+}
+
+// Reserve grows the bitmap so values in [0..n] can be inserted without
+// any further allocation.
+func (s *Set) Reserve(n int) {
+	s.grow(n)
+}
+
+// ReserveSelectScratch is a no-op: SelectExcluding needs no scratch
+// storage here. Present to mirror the oset API.
+func (s *Set) ReserveSelectScratch(int) {}
+
+// grow ensures bit v is addressable.
+func (s *Set) grow(v int) {
+	need := v>>6 + 1
+	if need <= len(s.words) {
+		return
+	}
+	if need <= cap(s.words) {
+		s.words = s.words[:need]
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int { return s.n }
+
+// Contains reports whether v is in the set.
+func (s *Set) Contains(v int) bool {
+	if v < 0 || v>>6 >= len(s.words) {
+		return false
+	}
+	return s.words[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// Insert adds v to the set. It reports whether v was absent. v must be
+// non-negative.
+func (s *Set) Insert(v int) bool {
+	s.grow(v)
+	w := &s.words[v>>6]
+	mask := uint64(1) << (uint(v) & 63)
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	s.n++
+	return true
+}
+
+// Delete removes v from the set. It reports whether v was present.
+func (s *Set) Delete(v int) bool {
+	if v < 0 || v>>6 >= len(s.words) {
+		return false
+	}
+	w := &s.words[v>>6]
+	mask := uint64(1) << (uint(v) & 63)
+	if *w&mask == 0 {
+		return false
+	}
+	*w &^= mask
+	s.n--
+	return true
+}
+
+// Clear removes all elements, keeping the storage.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// ResetRange clears the set and refills it with {lo, lo+1, ..., hi} by
+// writing full words plus two edge masks — O(hi/64) with no per-element
+// work. lo > hi leaves the set empty. lo must be non-negative.
+func (s *Set) ResetRange(lo, hi int) {
+	s.Clear()
+	if lo > hi {
+		return
+	}
+	s.grow(hi)
+	loW, hiW := lo>>6, hi>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi)&63)
+	if loW == hiW {
+		s.words[loW] = loMask & hiMask
+	} else {
+		s.words[loW] = loMask
+		for i := loW + 1; i < hiW; i++ {
+			s.words[i] = ^uint64(0)
+		}
+		s.words[hiW] = hiMask
+	}
+	s.n = hi - lo + 1
+}
+
+// Min returns the smallest element; ok is false when the set is empty.
+func (s *Set) Min() (v int, ok bool) {
+	for i, w := range s.words {
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest element; ok is false when the set is empty.
+func (s *Set) Max() (v int, ok bool) {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// Select returns the element with rank i (1-indexed: Select(1) is the
+// minimum). ok is false when i is out of range.
+func (s *Set) Select(i int) (v int, ok bool) {
+	if i < 1 || i > s.n {
+		return 0, false
+	}
+	for k, w := range s.words {
+		c := bits.OnesCount64(w)
+		if i > c {
+			i -= c
+			continue
+		}
+		return k<<6 + selectInWord(w, i), true
+	}
+	return 0, false // unreachable: i ≤ s.n
+}
+
+// Rank returns the number of elements ≤ v.
+func (s *Set) Rank(v int) int {
+	if v < 0 {
+		return 0
+	}
+	r := 0
+	vw := v >> 6
+	for k, w := range s.words {
+		if k > vw {
+			break
+		}
+		if k == vw {
+			w &= ^uint64(0) >> (63 - uint(v)&63)
+		}
+		r += bits.OnesCount64(w)
+	}
+	return r
+}
+
+// SelectExcluding returns the element of rank i (1-indexed) in the set
+// difference s \ excl — the paper's rank(SET1, SET2, i) — by scanning the
+// word-wise difference with popcounts. ok is false when s \ excl has
+// fewer than i elements. Cost: O(n/64) regardless of |excl|.
+func (s *Set) SelectExcluding(excl *Set, i int) (v int, ok bool) {
+	if i < 1 {
+		return 0, false
+	}
+	ew := excl.words
+	for k, w := range s.words {
+		if k < len(ew) {
+			w &^= ew[k]
+		}
+		c := bits.OnesCount64(w)
+		if i > c {
+			i -= c
+			continue
+		}
+		return k<<6 + selectInWord(w, i), true
+	}
+	return 0, false
+}
+
+// selectInWord returns the bit position of the i-th (1-indexed) set bit
+// of w; i must be ≤ popcount(w).
+func selectInWord(w uint64, i int) int {
+	for ; i > 1; i-- {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// Ascend calls fn for each element in ascending order until fn returns
+// false.
+func (s *Set) Ascend(fn func(v int) bool) {
+	for k, w := range s.words {
+		for w != 0 {
+			v := k<<6 + bits.TrailingZeros64(w)
+			if !fn(v) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns all elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.n)
+	s.Ascend(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n}
+	if len(s.words) > 0 {
+		c.words = make([]uint64, len(s.words))
+		copy(c.words, s.words)
+	}
+	return c
+}

@@ -1,0 +1,185 @@
+package denseset
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmostonce/internal/oset"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New()
+	if s.Len() != 0 || s.Contains(0) || s.Contains(5) {
+		t.Fatal("zero value not empty")
+	}
+	if !s.Insert(5) || s.Insert(5) {
+		t.Fatal("Insert absent/present misreported")
+	}
+	if !s.Contains(5) || s.Contains(4) || s.Len() != 1 {
+		t.Fatal("Contains/Len wrong after insert")
+	}
+	if !s.Delete(5) || s.Delete(5) || s.Delete(1000) {
+		t.Fatal("Delete present/absent misreported")
+	}
+	if s.Len() != 0 {
+		t.Fatal("Len after delete")
+	}
+}
+
+func TestResetRange(t *testing.T) {
+	s := New()
+	for _, tc := range []struct{ lo, hi int }{
+		{1, 1}, {1, 64}, {1, 65}, {63, 65}, {0, 200}, {128, 128}, {5, 4},
+	} {
+		s.ResetRange(tc.lo, tc.hi)
+		want := tc.hi - tc.lo + 1
+		if want < 0 {
+			want = 0
+		}
+		if s.Len() != want {
+			t.Fatalf("ResetRange(%d,%d): Len=%d want %d", tc.lo, tc.hi, s.Len(), want)
+		}
+		for v := 0; v <= tc.hi+64; v++ {
+			if got, want := s.Contains(v), v >= tc.lo && v <= tc.hi; got != want {
+				t.Fatalf("ResetRange(%d,%d): Contains(%d)=%v", tc.lo, tc.hi, v, got)
+			}
+		}
+	}
+}
+
+func TestSelectRankMinMax(t *testing.T) {
+	s := NewRange(10, 200)
+	if v, ok := s.Min(); !ok || v != 10 {
+		t.Fatalf("Min=%d,%v", v, ok)
+	}
+	if v, ok := s.Max(); !ok || v != 200 {
+		t.Fatalf("Max=%d,%v", v, ok)
+	}
+	for i := 1; i <= s.Len(); i++ {
+		if v, ok := s.Select(i); !ok || v != 9+i {
+			t.Fatalf("Select(%d)=%d,%v", i, v, ok)
+		}
+	}
+	if _, ok := s.Select(0); ok {
+		t.Fatal("Select(0) ok")
+	}
+	if _, ok := s.Select(s.Len() + 1); ok {
+		t.Fatal("Select(len+1) ok")
+	}
+	if r := s.Rank(9); r != 0 {
+		t.Fatalf("Rank(9)=%d", r)
+	}
+	if r := s.Rank(200); r != 191 {
+		t.Fatalf("Rank(200)=%d", r)
+	}
+	if r := s.Rank(100000); r != 191 {
+		t.Fatalf("Rank(high)=%d", r)
+	}
+}
+
+// TestAgainstOset drives random mutations through a dense set and the
+// red-black reference in lockstep and compares every query, including
+// the rank(SET1, SET2, i) operation.
+func TestAgainstOset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const universe = 700
+	d, ref := New(), oset.New()
+	excl, refExcl := New(), oset.New()
+	for step := 0; step < 20000; step++ {
+		v := rng.Intn(universe)
+		switch rng.Intn(6) {
+		case 0, 1:
+			if d.Insert(v) != ref.Insert(v) {
+				t.Fatalf("step %d: Insert(%d) disagrees", step, v)
+			}
+		case 2:
+			if d.Delete(v) != ref.Delete(v) {
+				t.Fatalf("step %d: Delete(%d) disagrees", step, v)
+			}
+		case 3:
+			if d.Insert(v) != ref.Insert(v) {
+				t.Fatalf("step %d: Insert(%d) disagrees", step, v)
+			}
+			excl.Insert(v)
+			refExcl.Insert(v)
+		case 4:
+			excl.Delete(v)
+			refExcl.Delete(v)
+		case 5:
+			if step%500 == 0 {
+				lo, hi := rng.Intn(universe), rng.Intn(universe)
+				d.ResetRange(lo, hi)
+				ref.ResetRange(lo, hi)
+			}
+		}
+		if d.Len() != ref.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, d.Len(), ref.Len())
+		}
+		if d.Contains(v) != ref.Contains(v) {
+			t.Fatalf("step %d: Contains(%d) disagrees", step, v)
+		}
+		if step%100 == 0 {
+			i := rng.Intn(universe) + 1
+			dv, dok := d.Select(i)
+			rv, rok := ref.Select(i)
+			if dv != rv || dok != rok {
+				t.Fatalf("step %d: Select(%d) = %d,%v vs %d,%v", step, i, dv, dok, rv, rok)
+			}
+			dv, dok = d.SelectExcluding(excl, i)
+			rv, rok = ref.SelectExcluding(refExcl, i)
+			if dv != rv || dok != rok {
+				t.Fatalf("step %d: SelectExcluding(%d) = %d,%v vs %d,%v", step, i, dv, dok, rv, rok)
+			}
+			if d.Rank(v) != ref.Rank(v) {
+				t.Fatalf("step %d: Rank(%d) disagrees", step, v)
+			}
+			got, want := d.Slice(), ref.Slice()
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Slice lengths %d vs %d", step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: Slice[%d] %d vs %d", step, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewRange(1, 100)
+	c := s.Clone()
+	s.Delete(50)
+	if !c.Contains(50) || c.Len() != 100 {
+		t.Fatal("Clone shares storage")
+	}
+	c.Insert(200)
+	if s.Contains(200) {
+		t.Fatal("Clone mutation leaked back")
+	}
+}
+
+// TestSteadyStateAllocs is the property the round loop builds on: after
+// Reserve, a fill/drain cycle at a fixed universe allocates nothing.
+func TestSteadyStateAllocs(t *testing.T) {
+	s := New()
+	excl := New()
+	s.Reserve(1024)
+	excl.Reserve(1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.ResetRange(1, 1024)
+		excl.Clear()
+		for v := 1; v <= 1024; v += 7 {
+			excl.Insert(v)
+		}
+		for i := 0; i < 64; i++ {
+			if v, ok := s.SelectExcluding(excl, i*3+1); ok {
+				s.Delete(v)
+			}
+		}
+		s.Ascend(func(int) bool { return true })
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle allocates %v times per run", allocs)
+	}
+}

@@ -1,0 +1,91 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDispatcherRoundLoopAllocFree is the allocation gate for the
+// steady-state round path: submit → queue → round → finishRound →
+// Flush, with no async waiters, no metrics and no tracer, must not
+// allocate per job or per round once warm. The budget below is a small
+// fraction of one allocation per ROUND (cycles cut several rounds), so
+// a single heap allocation creeping into either the per-job submit path
+// or the per-round loop trips it. The only tolerated noise is the
+// once-per-second dispatch_round heartbeat record (~10 allocations,
+// amortized across every cycle of the run).
+func TestDispatcherRoundLoopAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI")
+	}
+	d, err := New(Config{Shards: 1, Workers: 2, MaxBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var sink atomic.Uint64
+	fn := func() { sink.Add(1) }
+	// Warm every pool: ring capacities, runtime prewarm, the first
+	// heartbeat record.
+	for i := 0; i < 4096; i++ {
+		if _, err := d.Submit(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	const jobs = 2048
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < jobs; i++ {
+			if _, err := d.Submit(fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Flush()
+	})
+	t.Logf("allocs per %d-job cycle: %.3f", jobs, avg)
+	// < 1 alloc per 2048-job cycle: a per-round leak shows up as several
+	// per cycle, a per-job leak as thousands.
+	if avg >= 1 {
+		t.Errorf("steady-state cycle of %d jobs allocates %.2f times (want < 1)", jobs, avg)
+	}
+}
+
+// TestDispatcherResolveAllocs gates the async resolution path: with a
+// registered callback per job, the marginal cost per job is the waiter
+// table's map churn (insert at submit, delete at resolve) plus
+// resolveResults itself, which reuses the shard's scratch buffer. The
+// map's occasional same-size growth is real but amortized, so the gate
+// is a small epsilon per job rather than exact zero.
+func TestDispatcherResolveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI")
+	}
+	d, err := New(Config{Shards: 1, Workers: 2, MaxBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var resolved atomic.Uint64
+	done := func(r JobResult) { resolved.Add(1) }
+	fn := func() {}
+	for i := 0; i < 8192; i++ {
+		if _, err := d.SubmitCallback(fn, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	const jobs = 2048
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < jobs; i++ {
+			if _, err := d.SubmitCallback(fn, done); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Flush()
+	})
+	t.Logf("allocs per %d-job async cycle: %.3f", jobs, avg)
+	if perJob := avg / jobs; perJob > 0.05 {
+		t.Errorf("async cycle allocates %.3f per job (want ≤ 0.05; %.1f per %d-job cycle)",
+			perJob, avg, jobs)
+	}
+}

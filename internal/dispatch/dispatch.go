@@ -100,6 +100,20 @@ type Config struct {
 	// it sizes the durable journal rows, and Submit fails with
 	// ErrJournalFull beyond it. Required with NewMem, ignored without.
 	MaxJobs int
+	// JournalBatch is the durable journal's group-commit factor (default
+	// 1 = journal per job). At k > 1 each worker CLAIMS up to k jobs —
+	// marking them taken in the round but deferring their payloads — then
+	// journals all k ids in one vectored acked write and runs the k
+	// payloads, paying one ack (one msync, one network round trip) per
+	// claim instead of per job. Record-then-do still holds per batch: no
+	// payload runs before its journal record is acknowledged, so a crash
+	// can never produce a duplicate. The crash WINDOW widens from one job
+	// to k per worker: a process killed after the batch journal write but
+	// before the payloads has recorded up to k jobs whose payloads never
+	// ran, which recovery counts performed — effectiveness loss, bounded
+	// by Workers·JournalBatch per crash (DESIGN.md §14). Ignored without
+	// NewMem.
+	JournalBatch int
 	// Metrics enables the dispatcher's obs registry: per-shard
 	// submit/round/steal/expiry counters, queue-depth and round-size
 	// gauges, and the round-duration, round-loss and sampled
@@ -207,6 +221,12 @@ func (c *Config) normalize() error {
 	}
 	if c.NewMem != nil && c.MaxJobs <= 0 {
 		return fmt.Errorf("dispatch: NewMem requires MaxJobs > 0 (it sizes the durable journal)")
+	}
+	if c.JournalBatch <= 0 {
+		c.JournalBatch = 1
+	}
+	if c.NewMem != nil && c.JournalBatch > c.MaxJobs {
+		c.JournalBatch = c.MaxJobs
 	}
 	if c.QueueDepth < 0 {
 		c.QueueDepth = 0

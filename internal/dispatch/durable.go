@@ -7,6 +7,7 @@ import (
 
 	"atmostonce/internal/core"
 	"atmostonce/internal/membackend"
+	"atmostonce/internal/obs"
 	"atmostonce/internal/obs/eventlog"
 )
 
@@ -78,6 +79,17 @@ func (s *shard) openDurable(cfg *Config) (recovered []uint64, err error) {
 	s.rbase = jbase
 	s.ackedW, _ = b.(membackend.AckedWriter)
 	s.journalW, _ = b.(membackend.JournalWriter)
+	s.batchJournalW, _ = b.(membackend.BatchJournalWriter)
+	s.jbatch = cfg.JournalBatch
+	if s.jbatch > 1 {
+		// Claim buffers are sized once; the round path appends into them
+		// without ever growing (flush fires at jbatch).
+		s.claims = make([]workerClaims, m)
+		for p := range s.claims {
+			s.claims[p].ids = make([]uint64, 0, s.jbatch)
+			s.claims[p].locals = make([]int, 0, s.jbatch)
+		}
+	}
 
 	fp := fingerprint(s.id, cfg.Shards, m, maxBatch, maxJobs)
 	if r, ok := b.(membackend.Reopener); ok && r.Reopened() {
@@ -224,4 +236,94 @@ func (s *shard) journal(p int, id uint64) {
 	}
 	s.jcur[p-1] = idx + 1
 	s.journaled.Add(1)
+}
+
+// workerClaims is one worker's open group-commit buffer: jobs marked
+// done in the round whose journal records and payloads are deferred to
+// the next flush. ids and locals move in lockstep; both are sized to
+// Config.JournalBatch at construction and never grow.
+type workerClaims struct {
+	ids    []uint64 // dispatcher-wide ids, journaled in one vectored write
+	locals []int    // matching batch slots, payloads run after the write
+}
+
+// claim appends one job to worker p's group-commit buffer, flushing when
+// the buffer reaches JournalBatch. Called only from exec on p's own
+// goroutine.
+func (s *shard) claim(p, local int) {
+	c := &s.claims[p-1]
+	c.ids = append(c.ids, s.batch[local-1].id)
+	c.locals = append(c.locals, local)
+	if len(c.ids) >= s.jbatch {
+		s.flushClaims(p)
+	}
+}
+
+// flushClaims is the group commit: journal every claimed id of worker p
+// in ONE vectored acked write (the batch capability when the backend has
+// one, per-cell acked writes otherwise), then run the deferred payloads
+// in claim order. Record-then-do holds for the whole batch — no payload
+// runs before the batch's journal write returns — so a crash anywhere
+// in the window costs at most JournalBatch payloads per worker
+// (journaled, counted performed by recovery, never run: effectiveness
+// loss), and never a duplicate. It runs on worker p's goroutine, either
+// from claim (buffer full) or from the runtime's end-of-round Flush
+// hook; between rounds every buffer is empty.
+func (s *shard) flushClaims(p int) {
+	c := &s.claims[p-1]
+	k := len(c.ids)
+	if k == 0 {
+		return
+	}
+	idx := s.jcur[p-1] // p's row is single-writer; no synchronization needed
+	if idx+k > s.jlen {
+		eventlog.CrashDump("dispatch_journal_overflow",
+			"shard", s.id, "row", p, "claimed", k, "max_jobs", s.jlen)
+		panic(fmt.Sprintf("dispatch: shard %d journal row %d overflow (%d claimed at %d, MaxJobs %d)",
+			s.id, p, k, idx, s.jlen))
+	}
+	addr := s.jaddr(p, idx)
+	switch {
+	case s.batchJournalW != nil:
+		if err := s.batchJournalW.JournalWriteBatch(addr, c.ids); err != nil {
+			s.journalFail(c.ids[0], err)
+		}
+	case s.journalW != nil:
+		for i, id := range c.ids {
+			if err := s.journalW.JournalWrite(addr+i, id); err != nil {
+				s.journalFail(id, err)
+			}
+		}
+	case s.ackedW != nil:
+		for i, id := range c.ids {
+			if err := s.ackedW.WriteAcked(addr+i, int64(id)); err != nil {
+				s.journalFail(id, err)
+			}
+		}
+	default:
+		for i, id := range c.ids {
+			s.mem.Write(addr+i, int64(id))
+		}
+	}
+	s.jcur[p-1] = idx + k
+	s.journaled.Add(uint64(k))
+	tr := s.d.tr
+	for _, local := range c.locals {
+		e := &s.batch[local-1]
+		if tr != nil {
+			tr.Record(e.id, obs.TraceJournaled, s.id)
+		}
+		s.runPayload(e)
+	}
+	c.ids = c.ids[:0]
+	c.locals = c.locals[:0]
+}
+
+// journalFail is the shared death path of a failed journal write: the
+// backend is fenced or unreachable, so this process has lost the right
+// to run payloads — dying before them is exactly the crash recovery
+// absorbs.
+func (s *shard) journalFail(id uint64, err error) {
+	eventlog.CrashDump("dispatch_journal_write_failed", "shard", s.id, "job", id, "err", err)
+	panic(fmt.Sprintf("dispatch: shard %d journal write for job %d failed (fenced or unreachable backend): %v", s.id, id, err))
 }

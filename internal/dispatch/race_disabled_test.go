@@ -1,0 +1,5 @@
+//go:build !race
+
+package dispatch
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package dispatch
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count guards are meaningless under its instrumentation.
+const raceEnabled = true

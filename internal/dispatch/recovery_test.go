@@ -599,3 +599,200 @@ func TestDurableSync(t *testing.T) {
 		t.Fatal("durable Sync:", err)
 	}
 }
+
+// TestGroupCommitRoundTrip: the happy path of JournalBatch > 1. With no
+// crash, the end-of-round flush drains every claim buffer, so a clean
+// close loses nothing: every job executes exactly once, every id is
+// journaled, and a recovering incarnation skips them all.
+func TestGroupCommitRoundTrip(t *testing.T) {
+	requireMmap(t)
+	const n = 2000
+	dir := t.TempDir()
+	executions := make([]atomic.Int32, n+1)
+	cfg := Config{
+		Shards: 1, Workers: 4, MaxBatch: 256,
+		NewMem: mmapFactory(dir), MaxJobs: n, JournalBatch: 16,
+	}
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() { executions[id].Add(1) }
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d1.Flush()
+	journaled := d1.shards[0].journaled.Load()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if journaled != n {
+		t.Errorf("journaled %d rows, want %d", journaled, n)
+	}
+	for id := 1; id <= n; id++ {
+		if got := executions[id].Load(); got != 1 {
+			t.Fatalf("job %d executed %d times before the restart, want 1", id, got)
+		}
+	}
+
+	// Recovery: the identical stream resolves entirely from the journal.
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	st2 := d2.Stats()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Recovered != n {
+		t.Errorf("recovered %d jobs, want %d", st2.Recovered, n)
+	}
+	for id := 1; id <= n; id++ {
+		if got := executions[id].Load(); got != 1 {
+			t.Errorf("job %d executed %d times across the restart, want 1", id, got)
+		}
+	}
+}
+
+// TestGroupCommitCrashPlan: injected (cooperative) crashes with
+// JournalBatch > 1. A crashed worker's open claim buffer is flushed by
+// the runtime's end-of-round hook — journal then payloads — so
+// algorithm-level crashes still lose nothing: every job executes exactly
+// once, rounds carry residue, never duplicates.
+func TestGroupCommitCrashPlan(t *testing.T) {
+	requireMmap(t)
+	const n = 1500
+	executions := make([]atomic.Int32, n+1)
+	d, err := New(Config{
+		Shards: 1, Workers: 4, MaxBatch: 128,
+		NewMem: mmapFactory(t.TempDir()), MaxJobs: n, JournalBatch: 8,
+		CrashPlan: func(shard, round int) []uint64 {
+			if round%2 == 1 {
+				return nil
+			}
+			return []uint64{uint64(10 + round%37), 0, uint64(25 + round%17), 0}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() { executions[id].Add(1) }
+	}
+	if _, err := d.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d.Flush()
+	st := d.Stats()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates != 0 {
+		t.Errorf("round-level duplicates: %d", st.Duplicates)
+	}
+	if st.Crashes == 0 {
+		t.Error("crash plan injected no crashes; the test exercised nothing")
+	}
+	for id := 1; id <= n; id++ {
+		if got := executions[id].Load(); got != 1 {
+			t.Errorf("job %d executed %d times, want 1", id, got)
+		}
+	}
+}
+
+// TestGroupCommitRecoverMidClaim is the widened crash window of
+// JournalBatch > 1, in-process: the dispatcher freezes with workers
+// parked inside deferred payloads — AFTER their claim batch's journal
+// write, with sibling claims journaled but never run — and a recovering
+// incarnation must produce ZERO duplicates while losing at most
+// JournalBatch payloads per worker (journaled-but-unperformed jobs,
+// which recovery counts performed; DESIGN.md §14's bound).
+func TestGroupCommitRecoverMidClaim(t *testing.T) {
+	requireMmap(t)
+	const (
+		n       = 2000
+		workers = 4
+		jbatch  = 16
+		killAt  = 32
+	)
+	dir := t.TempDir()
+	executions := make([]atomic.Int32, n+1)
+
+	var performed, blocked atomic.Int64
+	gate := make(chan struct{}) // never closed: d1's workers stay frozen
+	cfg := Config{
+		Shards: 1, Workers: workers, MaxBatch: 512,
+		NewMem: mmapFactory(dir), MaxJobs: n, JournalBatch: jbatch,
+	}
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]Job, n)
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() {
+			executions[id].Add(1)
+			if performed.Add(1) >= killAt {
+				blocked.Add(1)
+				<-gate
+			}
+		}
+	}
+	if _, err := d1.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all workers frozen mid-claim", func() bool { return blocked.Load() == workers })
+	// d1 is abandoned without Close, like a killed process. Each frozen
+	// worker sits inside a deferred payload, so its claim batch is
+	// journaled but its remaining payloads never ran.
+
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fns {
+		id := i + 1
+		fns[i] = func() { executions[id].Add(1) }
+	}
+	if _, err := d2.SubmitBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	d2.Flush()
+	st := d2.Stats()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates != 0 {
+		t.Errorf("round-level duplicates: %d", st.Duplicates)
+	}
+	dup, lost := 0, 0
+	for id := 1; id <= n; id++ {
+		switch executions[id].Load() {
+		case 1:
+		case 0:
+			lost++
+		default:
+			dup++
+		}
+	}
+	if dup != 0 {
+		t.Errorf("at-most-once violated across the crash: %d duplicate executions", dup)
+	}
+	// The crash window: journaled-but-unperformed claims, at most
+	// JournalBatch per worker (minus the payload each worker is frozen
+	// inside, which DID run).
+	if max := workers * jbatch; lost > max {
+		t.Errorf("lost %d payloads across the crash, want ≤ %d (workers × JournalBatch)", lost, max)
+	}
+}

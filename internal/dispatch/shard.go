@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -38,14 +39,25 @@ type shard struct {
 	// backend's AckedWriter capability when it has one (remote backends
 	// do): the journal writes through it so record-then-do holds across
 	// the network, not just across local process death.
-	backend  membackend.Backend
-	mem      shmem.Mem
-	ackedW   membackend.AckedWriter
-	journalW membackend.JournalWriter
-	durable  bool
-	jlen     int
-	rbase    int
-	jcur     []int
+	backend       membackend.Backend
+	mem           shmem.Mem
+	ackedW        membackend.AckedWriter
+	journalW      membackend.JournalWriter
+	batchJournalW membackend.BatchJournalWriter
+	durable       bool
+	jlen          int
+	rbase         int
+	jcur          []int
+
+	// Group-commit state (JournalBatch > 1): each worker claims up to
+	// jbatch jobs — marked done in the round, payloads deferred — then
+	// flushClaims journals all of them in ONE vectored acked write and
+	// runs the payloads. claims[p-1] is worker p's open claim buffer,
+	// touched only by worker p during a round and by nobody between
+	// rounds (the runtime's Flush hook drains it before the round
+	// settles).
+	jbatch int
+	claims []workerClaims
 
 	// count points at this shard's padded submitted/performed counters
 	// (d.counts[id]); submit paths and round completion touch only these,
@@ -87,6 +99,10 @@ type shard struct {
 	// MaxBatch.
 	ewmaPerJob float64
 	lastTaken  int
+	// lastRoundLog (loop goroutine only) is the Unix-nano stamp of the
+	// last dispatch_round record, for the once-per-second heartbeat gate
+	// in observeRound.
+	lastRoundLog int64
 
 	// Observability mirrors (see obs.go): lastTakenA shadows lastTaken
 	// atomically so the round-size gauge never races the loop goroutine;
@@ -132,6 +148,12 @@ func newShard(d *Dispatcher, id int) (*shard, []uint64, error) {
 		}
 		s.mem = s.backend
 		opts.Mem, opts.MemBase = s.backend, s.rbase
+		if s.jbatch > 1 {
+			// Workers with an open claim buffer at the end of their step
+			// loop (round drained, or injected crash) flush it before the
+			// round settles.
+			opts.Flush = s.flushClaims
+		}
 	}
 	rt, err := conc.NewRuntime(opts)
 	if err != nil {
@@ -196,21 +218,37 @@ func (s *shard) jobsDone(n int) {
 
 // exec is the round payload: local job ids map to batch slots; padding
 // slots carry no payload. Durable shards journal the job's durable id
-// before running it (record-then-do; see durable.go). v2 payloads get a
-// context carrying the Task's deadline and may return an error, recorded
-// in the entry for finishRound to deliver; v1 payloads run bare.
+// before running it (record-then-do; see durable.go) — or, at
+// JournalBatch > 1, claim it into the worker's group-commit buffer and
+// defer both the journal write and the payload to the next flush. v2
+// payloads get a context carrying the Task's deadline and may return an
+// error, recorded in the entry for finishRound to deliver; v1 payloads
+// run bare.
 func (s *shard) exec(worker, local int) {
 	e := &s.batch[local-1]
+	if e.fn0 == nil && e.fn == nil {
+		return // round padding
+	}
 	tr := s.d.tr
-	if tr != nil && (e.fn0 != nil || e.fn != nil) {
+	if tr != nil {
 		tr.Record(e.id, obs.TraceStarted, s.id)
 	}
-	if s.durable && (e.fn0 != nil || e.fn != nil) {
+	if s.durable {
+		if s.jbatch > 1 {
+			s.claim(worker, local)
+			return
+		}
 		s.journal(worker, e.id)
 		if tr != nil {
 			tr.Record(e.id, obs.TraceJournaled, s.id)
 		}
 	}
+	s.runPayload(e)
+}
+
+// runPayload invokes one entry's payload, recording a v2 payload's error
+// in the entry for finishRound to deliver.
+func (s *shard) runPayload(e *entry) {
 	switch {
 	case e.fn0 != nil:
 		e.fn0()
@@ -369,9 +407,19 @@ func (s *shard) feed(n int, get func(i int) entry, reserved bool) {
 	s.mu.Unlock()
 }
 
-// enqueueOne appends one entry; see feed.
+// enqueueOne appends one entry — feed's single-job case, open-coded so
+// the Submit hot path builds no closure (the capture of e is a heap
+// allocation per submission; see TestDispatcherSubmitAllocs).
 func (s *shard) enqueueOne(e entry, reserved bool) {
-	s.feed(1, func(int) entry { return e }, reserved)
+	s.mu.Lock()
+	if reserved {
+		s.reserved--
+	} else {
+		s.waitSpace()
+	}
+	s.q.pushBack(e)
+	s.cond.Signal()
+	s.mu.Unlock()
 }
 
 // enqueueEntries appends pre-built entries (the recovery filter path).
@@ -432,7 +480,7 @@ func (s *shard) loop() {
 			// Unreachable: k and the crash vector are validated here.
 			panic("dispatch: " + err.Error())
 		}
-		s.observeRound(n, k, time.Since(t0))
+		s.observeRound(n, k, time.Since(t0), res.Crashed)
 		performed, doneRes := s.finishRound(n, res)
 		if len(doneRes) > 0 {
 			s.d.waiters.resolveResults(doneRes, &s.cbBuf)
@@ -469,7 +517,7 @@ func (s *shard) roundLimit() int {
 // observeRound feeds one executed round back into the controller: k
 // slots (real jobs plus padding) took dur, so the per-slot cost estimate
 // is dur/k, smoothed 1:3 into the EWMA.
-func (s *shard) observeRound(n, k int, dur time.Duration) {
+func (s *shard) observeRound(n, k int, dur time.Duration, crashed int) {
 	s.lastTaken = n
 	per := float64(dur) / float64(k)
 	if s.ewmaPerJob == 0 {
@@ -484,9 +532,20 @@ func (s *shard) observeRound(n, k int, dur time.Duration) {
 		s.d.roundHist.Observe(uint64(dur))
 		s.lastTakenA.Store(int64(n))
 	}
-	// Ring-only at the default Info sink (two atomic ops per round);
-	// AMO_LOG=debug surfaces it on stderr.
-	eventlog.Logger().Debug("dispatch_round", "shard", s.id, "jobs", n, "slots", k, "dur", dur)
+	// dispatch_round is sampled, not per-round: a shard at steady state
+	// cuts thousands of rounds per second, and building a slog record
+	// costs ~10 heap allocations — in a loop the allocation gate holds at
+	// zero (TestDispatcherRoundLoopAllocFree). The flight ring gets one
+	// heartbeat per shard per second, every crashed round (rare, and the
+	// forensically interesting ones), and every round when the operator
+	// asked for full rate with AMO_LOG=debug.
+	if now := time.Now().UnixNano(); crashed > 0 ||
+		now-s.lastRoundLog >= int64(time.Second) ||
+		eventlog.SinkEnabled(slog.LevelDebug) {
+		s.lastRoundLog = now
+		eventlog.Logger().Debug("dispatch_round",
+			"shard", s.id, "jobs", n, "slots", k, "dur", dur, "crashed", crashed)
+	}
 }
 
 // promoWindow is the deadline-promotion lookahead at round assembly,

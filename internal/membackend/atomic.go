@@ -13,12 +13,36 @@ type AtomicBackend struct {
 	*shmem.AtomicMem
 }
 
-var _ Backend = AtomicBackend{}
+var (
+	_ Backend            = AtomicBackend{}
+	_ BatchAckedWriter   = AtomicBackend{}
+	_ BatchJournalWriter = AtomicBackend{}
+)
 
 // NewAtomic returns a volatile in-process backend with size zeroed
 // cells.
 func NewAtomic(size int) AtomicBackend {
 	return AtomicBackend{AtomicMem: shmem.NewAtomic(size)}
+}
+
+// WriteAckedBatch implements BatchAckedWriter. In-process atomic stores
+// are acked the moment they return, so the batch is a plain loop; the
+// capability exists so the group-commit path is exercised uniformly
+// across backends.
+func (b AtomicBackend) WriteAckedBatch(addr int, vals []int64) error {
+	for i, v := range vals {
+		b.AtomicMem.Write(addr+i, v)
+	}
+	return nil
+}
+
+// JournalWriteBatch implements BatchJournalWriter; locally the ids are
+// just the cell values.
+func (b AtomicBackend) JournalWriteBatch(addr int, ids []uint64) error {
+	for i, id := range ids {
+		b.AtomicMem.Write(addr+i, int64(id))
+	}
+	return nil
 }
 
 // Sync implements Backend; there is nothing to flush.

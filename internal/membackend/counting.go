@@ -26,12 +26,14 @@ type CountingMem struct {
 }
 
 var (
-	_ Backend       = (*CountingMem)(nil)
-	_ Reopener      = (*CountingMem)(nil)
-	_ AckedWriter   = (*CountingMem)(nil)
-	_ JournalWriter = (*CountingMem)(nil)
-	_ RangeReader   = (*CountingMem)(nil)
-	_ Filler        = (*CountingMem)(nil)
+	_ Backend            = (*CountingMem)(nil)
+	_ Reopener           = (*CountingMem)(nil)
+	_ AckedWriter        = (*CountingMem)(nil)
+	_ JournalWriter      = (*CountingMem)(nil)
+	_ BatchAckedWriter   = (*CountingMem)(nil)
+	_ BatchJournalWriter = (*CountingMem)(nil)
+	_ RangeReader        = (*CountingMem)(nil)
+	_ Filler             = (*CountingMem)(nil)
 )
 
 // swappingCounting is a CountingMem over a Swapper-capable inner
@@ -106,6 +108,60 @@ func (c *CountingMem) JournalWrite(addr int, id uint64) error {
 		return v.WriteAcked(addr, int64(id))
 	}
 	c.inner.Write(addr, int64(id))
+	return nil
+}
+
+// WriteAckedBatch implements BatchAckedWriter, counting len(vals)
+// writes. When the inner backend lacks the batch capability it degrades
+// to per-cell acked writes — still correct (each cell is ordered), just
+// without the single-ack amortization, and with the same
+// prefix-on-crash window the contract allows for in-process backends.
+func (c *CountingMem) WriteAckedBatch(addr int, vals []int64) error {
+	c.writes.Add(uint64(len(vals)))
+	if bw, ok := c.inner.(BatchAckedWriter); ok {
+		return bw.WriteAckedBatch(addr, vals)
+	}
+	if aw, ok := c.inner.(AckedWriter); ok {
+		for i, v := range vals {
+			if err := aw.WriteAcked(addr+i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, v := range vals {
+		c.inner.Write(addr+i, v)
+	}
+	return nil
+}
+
+// JournalWriteBatch implements BatchJournalWriter, counting len(ids)
+// writes. Falls back through JournalWrite so the per-job server-side
+// trace witnessing survives wrapping, then through the acked/plain
+// ladder like the other capabilities.
+func (c *CountingMem) JournalWriteBatch(addr int, ids []uint64) error {
+	c.writes.Add(uint64(len(ids)))
+	switch v := c.inner.(type) {
+	case BatchJournalWriter:
+		return v.JournalWriteBatch(addr, ids)
+	case JournalWriter:
+		for i, id := range ids {
+			if err := v.JournalWrite(addr+i, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	case AckedWriter:
+		for i, id := range ids {
+			if err := v.WriteAcked(addr+i, int64(id)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, id := range ids {
+		c.inner.Write(addr+i, int64(id))
+	}
 	return nil
 }
 

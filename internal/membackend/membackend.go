@@ -99,6 +99,32 @@ type Swapper interface {
 	CompareAndSwap(addr int, old, new int64) bool
 }
 
+// BatchAckedWriter writes the len(vals) contiguous cells starting at
+// addr and does not return until every one of them has reached the
+// backing store's ordering point — one acknowledged operation for the
+// whole batch. The group-commit journal path is built on it: a worker
+// claims k jobs, journals all k cells in one vectored write, then
+// executes, paying one round trip (or one ack) per claim instead of per
+// job. The write must be all-or-nothing with respect to admission
+// control: a backend that can reject a write (a fenced remote writer)
+// must reject the entire batch without applying any prefix of it.
+// Backends whose cells are individually ordered (the in-process ones)
+// may apply cell by cell — a crash mid-batch then leaves a prefix,
+// which the journal's scan-to-first-zero recovery already tolerates.
+type BatchAckedWriter interface {
+	WriteAckedBatch(addr int, vals []int64) error
+}
+
+// BatchJournalWriter is WriteAckedBatch for journal cells: ids[i] is the
+// job id recorded at addr+i. Like JournalWriter it exists so a remote
+// backend can name the jobs on the wire and the server can witness the
+// journal records in its own tracer; the fencing atomicity contract of
+// BatchAckedWriter applies (a fenced batch rejects as a whole, never a
+// prefix).
+type BatchJournalWriter interface {
+	JournalWriteBatch(addr int, ids []uint64) error
+}
+
 // JournalWriter is an acked write that additionally names the job whose
 // journal record the cell carries. Semantically identical to WriteAcked
 // (v is the job id for a journal cell); the separate capability exists

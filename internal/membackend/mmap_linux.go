@@ -54,8 +54,12 @@ type MmapMem struct {
 }
 
 var (
-	_ Backend  = (*MmapMem)(nil)
-	_ Reopener = (*MmapMem)(nil)
+	_ Backend            = (*MmapMem)(nil)
+	_ Reopener           = (*MmapMem)(nil)
+	_ AckedWriter        = (*MmapMem)(nil)
+	_ JournalWriter      = (*MmapMem)(nil)
+	_ BatchAckedWriter   = (*MmapMem)(nil)
+	_ BatchJournalWriter = (*MmapMem)(nil)
 )
 
 // OpenMmap maps the register file at path with size cells, creating and
@@ -151,6 +155,75 @@ func (m *MmapMem) Write(addr int, v int64) { m.cells[addr].Store(v) }
 // atomic compare-and-swap on the mapped cell.
 func (m *MmapMem) CompareAndSwap(addr int, old, new int64) bool {
 	return m.cells[addr].CompareAndSwap(old, new)
+}
+
+// syncCells msyncs the page range covering the n cells starting at
+// addr, making their current values durable against host crash, not
+// just process death. The mapping starts page-aligned, so rounding the
+// byte offsets to page boundaries stays inside it. Like Read and Write
+// it must not race Close (undefined by contract); unlike Sync it takes
+// no lock, because it is the acked-write hot path.
+func (m *MmapMem) syncCells(addr, n int) error {
+	page := syscall.Getpagesize()
+	lo := (mmapHeader + addr*int(mmapCellSize)) &^ (page - 1)
+	hi := mmapHeader + (addr+n)*int(mmapCellSize)
+	if rem := hi % page; rem != 0 {
+		hi += page - rem
+	}
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	if err := msync(m.data[lo:hi]); err != nil {
+		return fmt.Errorf("membackend: msync %s cells [%d,%d): %w", m.path, addr, addr+n, err)
+	}
+	mbSyncs.Inc()
+	return nil
+}
+
+// WriteAcked implements AckedWriter: the store plus an msync of its
+// page. A plain Write already survives process death (the pages belong
+// to the kernel); the acked variant is the genuinely synchronous write
+// the journal's record-then-do needs to also survive a host crash. It
+// is expensive — one msync per call — which is exactly what the
+// group-commit batch variants below amortize.
+func (m *MmapMem) WriteAcked(addr int, v int64) error {
+	m.cells[addr].Store(v)
+	return m.syncCells(addr, 1)
+}
+
+// JournalWrite implements JournalWriter. Locally the job id carries no
+// extra meaning (there is no server to witness it); the semantics are
+// WriteAcked's.
+func (m *MmapMem) JournalWrite(addr int, id uint64) error {
+	return m.WriteAcked(addr, int64(id))
+}
+
+// WriteAckedBatch implements BatchAckedWriter: len(vals) stores, then
+// ONE msync covering the touched page range — the group-commit
+// amortization. The cells are individually ordered atomic stores, so a
+// crash mid-batch leaves a prefix (allowed by the contract for
+// in-process backends; the journal's scan-to-first-zero recovery
+// tolerates it).
+func (m *MmapMem) WriteAckedBatch(addr int, vals []int64) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	for i, v := range vals {
+		m.cells[addr+i].Store(v)
+	}
+	return m.syncCells(addr, len(vals))
+}
+
+// JournalWriteBatch implements BatchJournalWriter with WriteAckedBatch
+// semantics over the journal cells.
+func (m *MmapMem) JournalWriteBatch(addr int, ids []uint64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	for i, id := range ids {
+		m.cells[addr+i].Store(int64(id))
+	}
+	return m.syncCells(addr, len(ids))
 }
 
 // Size implements shmem.Mem.

@@ -61,6 +61,7 @@ func RunMemSuite(t *testing.T, f Factory) {
 		testReopen(t, f)
 	})
 	t.Run("Capabilities", func(t *testing.T) { testCapabilities(t, f) })
+	t.Run("BatchWrite", func(t *testing.T) { testBatchWrite(t, f) })
 }
 
 // Local structural mirrors of membackend's optional capability
@@ -81,6 +82,12 @@ type (
 	}
 	swapper interface {
 		CompareAndSwap(addr int, old, new int64) bool
+	}
+	batchAckedWriter interface {
+		WriteAckedBatch(addr int, vals []int64) error
+	}
+	batchJournalWriter interface {
+		JournalWriteBatch(addr int, ids []uint64) error
 	}
 )
 
@@ -151,6 +158,68 @@ func testCapabilities(t *testing.T, f Factory) {
 	}
 	if !any {
 		t.Skip("backend implements no optional capabilities")
+	}
+}
+
+// testBatchWrite checks the vectored-write capabilities
+// (WriteAckedBatch / JournalWriteBatch) against plain per-cell reads: a
+// batch of k values lands in exactly the k contiguous cells starting at
+// addr, neighbours untouched, single-element and larger batches alike.
+// The stronger contract — a *fenced* batch write rejecting atomically
+// with no prefix applied — involves two competing writers and lives in
+// the net backend's own tests (it is the only backend with admission
+// control); here every accepted batch must simply be fully applied.
+// Backends without the capabilities pass vacuously.
+func testBatchWrite(t *testing.T, f Factory) {
+	const size = 96
+	m := f.New(t, size)
+	any := false
+	for a := 0; a < size; a++ {
+		m.Write(a, int64(a)+100)
+	}
+	if bw, ok := m.(batchAckedWriter); ok {
+		any = true
+		for _, n := range []int{1, 2, 7, 33} {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(1000*n + i)
+			}
+			const addr = 20
+			if err := bw.WriteAckedBatch(addr, vals); err != nil {
+				t.Fatalf("WriteAckedBatch(%d cells): %v", n, err)
+			}
+			for a := 0; a < size; a++ {
+				want := int64(a) + 100
+				if a >= addr && a < addr+n {
+					want = vals[a-addr]
+				}
+				if got := m.Read(a); got != want {
+					t.Fatalf("cell %d = %d after WriteAckedBatch(%d,%d cells), want %d", a, got, addr, n, want)
+				}
+			}
+			for a := 0; a < size; a++ {
+				m.Write(a, int64(a)+100)
+			}
+		}
+	}
+	if jw, ok := m.(batchJournalWriter); ok {
+		any = true
+		ids := []uint64{901, 902, 903, 904, 905}
+		const addr = 50
+		if err := jw.JournalWriteBatch(addr, ids); err != nil {
+			t.Fatalf("JournalWriteBatch: %v", err)
+		}
+		for i, id := range ids {
+			if got := m.Read(addr + i); got != int64(id) {
+				t.Fatalf("journal cell %d = %d, want %d", addr+i, got, id)
+			}
+		}
+		if got := m.Read(addr + len(ids)); got != int64(addr+len(ids))+100 {
+			t.Fatalf("cell after journal batch clobbered: %d", got)
+		}
+	}
+	if !any {
+		t.Skip("backend implements no batch-write capabilities")
 	}
 }
 

@@ -1,9 +1,12 @@
 package netmem
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"atmostonce/internal/membackend"
 	"atmostonce/internal/obs"
@@ -70,6 +73,114 @@ func TestJournalWrite(t *testing.T) {
 	if got := b.Read(11); got != 52 {
 		t.Fatalf("cell 11 = %d after rewrite, want 52", got)
 	}
+}
+
+// TestJournalWriteBatch: the opJournalBatch round trip. One awaited op
+// lands k ids in k contiguous cells, the server's tracer witnesses
+// every id, and a bad batch (out of bounds) is a per-op error that
+// leaves the connection alive.
+func TestJournalWriteBatch(t *testing.T) {
+	tr := obs.NewTracer(1, 64)
+	srv := NewServer(ServerOptions{Tracer: tr})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	b, err := membackend.Open(fmt.Sprintf("net:%s/%s", addr, uniqueNS()), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bj, ok := b.(membackend.BatchJournalWriter)
+	if !ok {
+		t.Fatal("net backend does not implement BatchJournalWriter")
+	}
+
+	ids := []uint64{71, 72, 73, 74, 75}
+	if err := bj.JournalWriteBatch(20, ids); err != nil {
+		t.Fatalf("JournalWriteBatch: %v", err)
+	}
+	for i, id := range ids {
+		if got := b.Read(20 + i); got != int64(id) {
+			t.Fatalf("cell %d = %d, want %d", 20+i, got, id)
+		}
+	}
+	if got := b.Read(20 + len(ids)); got != 0 {
+		t.Fatalf("cell after batch clobbered: %d", got)
+	}
+	// A single-element batch is just a journal write.
+	if err := bj.JournalWriteBatch(5, []uint64{99}); err != nil {
+		t.Fatalf("single-element batch: %v", err)
+	}
+	if got := b.Read(5); got != 99 {
+		t.Fatalf("cell 5 = %d, want 99", got)
+	}
+	// An empty batch is a no-op, not a wire error.
+	if err := bj.JournalWriteBatch(5, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+
+	doc := obs.NewTracezDoc(tr)
+	if len(doc.Jobs) != len(ids)+1 {
+		t.Fatalf("server tracer saw %d jobs, want %d: %+v", len(doc.Jobs), len(ids)+1, doc.Jobs)
+	}
+	for _, j := range doc.Jobs {
+		if len(j.Events) != 1 || j.Events[0].Event != "journaled" || j.Events[0].Shard != -1 {
+			t.Fatalf("job %d server events = %+v, want one journaled at shard -1", j.ID, j.Events)
+		}
+	}
+
+	// A batch overrunning the register file is a per-op error; the
+	// connection survives for the next operation.
+	if err := bj.JournalWriteBatch(60, []uint64{1, 2, 3, 4, 5, 6}); err == nil ||
+		!strings.Contains(err.Error(), "journal batch") {
+		t.Fatalf("out-of-bounds batch err = %v", err)
+	}
+	if err := bj.JournalWriteBatch(30, []uint64{7}); err != nil {
+		t.Fatalf("batch after bad-addr error: %v", err)
+	}
+	if got := b.Read(30); got != 7 {
+		t.Fatalf("cell 30 = %d after recovery write, want 7", got)
+	}
+}
+
+// TestJournalWriteBatchFencedNoPrefix: the atomicity half of the batch
+// contract. A fenced writer's batch must be rejected as a whole — the
+// successor must never observe a prefix of the incumbent's claim in the
+// registers. This is the two-writer test the memtest BatchWrite subtest
+// defers to the net backend (the only backend with admission control).
+func TestJournalWriteBatchFencedNoPrefix(t *testing.T) {
+	addr := testServerAddr(t)
+	ns := uniqueNS()
+	var fatal1 atomic.Value
+	c1, err := Open(addr, 64, Options{
+		Namespace: ns,
+		LeaseTTL:  300 * time.Millisecond,
+		OnFatal:   collectFatal(&fatal1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incumbent stalls; a waiting successor fences it.
+	c1.stopRenew()
+	c2, err := Open(addr, 64, Options{Namespace: ns, LeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	if err := c1.JournalWriteBatch(10, []uint64{101, 102, 103, 104}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced batch err = %v, want ErrFenced", err)
+	}
+	// No prefix: every cell of the rejected batch is untouched.
+	for i := 0; i < 4; i++ {
+		if got := c2.Read(10 + i); got != 0 {
+			t.Fatalf("fenced batch left a prefix: cell %d = %d", 10+i, got)
+		}
+	}
+	c1.Close()
 }
 
 // TestJournalWriteNoTracer: a server without a tracer still applies

@@ -26,12 +26,12 @@ var netmemOps = [...]struct {
 	{opHello, "hello"}, {opAcquire, "acquire"}, {opRenew, "renew"},
 	{opRelease, "release"}, {opRead, "read"}, {opWrite, "write"},
 	{opReadRange, "read_range"}, {opFill, "fill"}, {opCAS, "cas"},
-	{opSync, "sync"}, {opJournal, "journal"},
+	{opSync, "sync"}, {opJournal, "journal"}, {opJournalBatch, "journal_batch"},
 }
 
 var (
-	cliReqs       [opJournal + 1]*obs.Counter
-	cliRPC        [opJournal + 1]*obs.Histogram
+	cliReqs       [opJournalBatch + 1]*obs.Counter
+	cliRPC        [opJournalBatch + 1]*obs.Histogram
 	cliBytesOut   *obs.Counter
 	cliBytesIn    *obs.Counter
 	cliReconnects *obs.Counter
@@ -39,7 +39,7 @@ var (
 	cliFenced     *obs.Counter
 
 	srvConns      *obs.Gauge
-	srvReqs       [opJournal + 1]*obs.Counter
+	srvReqs       [opJournalBatch + 1]*obs.Counter
 	srvBytesIn    *obs.Counter
 	srvBytesOut   *obs.Counter
 	srvAcquires   *obs.Counter

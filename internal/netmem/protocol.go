@@ -64,6 +64,12 @@ const (
 	opCAS       byte = 9  // epoch u64, addr u64, old i64, new i64   → opCASResult
 	opSync      byte = 10 // (empty)                      → opAck
 	opJournal   byte = 11 // epoch u64, addr u64, id u64  → opAck; a write that names its job
+	// opJournalBatch is the vectored journal write: ids land in the
+	// contiguous cells starting at addr (count implied by frame length).
+	// The whole batch is admitted or fenced atomically — a stale epoch
+	// rejects every cell, never a prefix — which is what lets the
+	// group-commit dispatcher journal k claims in one round trip.
+	opJournalBatch byte = 12 // epoch u64, addr u64, id u64 × count → opAck
 
 	// Server → client.
 	opAck       byte = 16 // (empty)

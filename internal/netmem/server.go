@@ -367,6 +367,7 @@ func (s *Server) handle(c net.Conn) {
 	var (
 		buf     []byte
 		scratch []byte
+		ids     []uint64
 		ns      *namespace
 	)
 	reply := func(seq uint32, op byte, payload []byte) bool {
@@ -581,6 +582,64 @@ func (s *Server) handle(c net.Conn) {
 					ns.bk.Write(int(addr), int64(id))
 				}
 				s.opts.Tracer.Record(id, obs.TraceJournaled, -1)
+				return nil
+			}); werr != nil {
+				ok = replyErr(seq, werr)
+				break
+			}
+			ok = reply(seq, opAck, nil)
+
+		case opJournalBatch:
+			epoch := d.u64()
+			addr := d.u64()
+			// The rest of the payload is the id vector; the frame length
+			// implies the count, like opValues in the other direction.
+			if d.err != nil || len(d.b) == 0 || len(d.b)%8 != 0 || ns == nil {
+				ok = replyErr(seq, protoOrNoNS(d.err == nil && len(d.b) > 0 && len(d.b)%8 == 0, ns))
+				break
+			}
+			count := len(d.b) / 8
+			// Overflow-safe bounds, mirroring opReadRange: addr and count
+			// are checked separately, never their sum.
+			if count > maxRange || addr >= uint64(ns.size) || uint64(count) > uint64(ns.size)-addr {
+				ok = replyErr(seq, &wireError{codeBadAddr,
+					fmt.Sprintf("journal batch addr %d count %d outside size %d or over %d cells", addr, count, ns.size, maxRange)})
+				break
+			}
+			ids = ids[:0]
+			for i := 0; i < count; i++ {
+				ids = append(ids, d.u64())
+			}
+			if werr := ns.applyMut(epoch, func() *wireError {
+				// The fence check and every cell store happen under one
+				// applyMut critical section: a stale epoch rejects the
+				// whole batch before any cell is touched, so a fenced
+				// writer can never leave a prefix of its claim behind.
+				switch bk := ns.bk.(type) {
+				case membackend.BatchJournalWriter:
+					if err := bk.JournalWriteBatch(int(addr), ids); err != nil {
+						return &wireError{codeBackend, err.Error()}
+					}
+				case membackend.JournalWriter:
+					for i, id := range ids {
+						if err := bk.JournalWrite(int(addr)+i, id); err != nil {
+							return &wireError{codeBackend, err.Error()}
+						}
+					}
+				case membackend.AckedWriter:
+					for i, id := range ids {
+						if err := bk.WriteAcked(int(addr)+i, int64(id)); err != nil {
+							return &wireError{codeBackend, err.Error()}
+						}
+					}
+				default:
+					for i, id := range ids {
+						ns.bk.Write(int(addr)+i, int64(id))
+					}
+				}
+				for _, id := range ids {
+					s.opts.Tracer.Record(id, obs.TraceJournaled, -1)
+				}
 				return nil
 			}); werr != nil {
 				ok = replyErr(seq, werr)

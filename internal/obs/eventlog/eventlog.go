@@ -253,11 +253,21 @@ func levelFromEnv(s string) slog.Level {
 var (
 	defaultLogger   *slog.Logger
 	defaultRecorder *Recorder
+	sinkLevel       slog.Level
 )
 
 func init() {
-	defaultLogger, defaultRecorder = New(os.Stderr, levelFromEnv(os.Getenv("AMO_LOG")), DefaultFlightCap)
+	sinkLevel = levelFromEnv(os.Getenv("AMO_LOG"))
+	defaultLogger, defaultRecorder = New(os.Stderr, sinkLevel, DefaultFlightCap)
 }
+
+// SinkEnabled reports whether the process sink (stderr, leveled by
+// AMO_LOG) records at level l. The flight ring records at ALL levels,
+// so slog's own Enabled gate never fires for the default logger; hot
+// paths that emit high-frequency records use this to decide whether the
+// operator asked for them at full rate or a sampled trickle into the
+// ring is enough (see dispatch's per-round heartbeat).
+func SinkEnabled(l slog.Level) bool { return l >= sinkLevel }
 
 // Logger returns the process-default event logger (sink on stderr,
 // level from AMO_LOG, flight ring behind it). Layers log through this
