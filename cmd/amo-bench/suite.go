@@ -104,6 +104,9 @@ func runCompare(path string, quick bool, tolerance float64, backend string) erro
 	// Bytes/job ride along as context, never gated.
 	checkAllocs := func(baseA, curA, baseB, curB float64) {
 		if baseA == 0 {
+			// Old-format baseline from before the allocs field: say so
+			// instead of silently passing the gate.
+			fmt.Printf("| ↳ allocs/job | — | %.3f | — | old-format baseline (no allocs/job), skipped |\n", curA)
 			return
 		}
 		slack := 0.25
@@ -143,6 +146,9 @@ func runCompare(path string, quick bool, tolerance float64, backend string) erro
 		}
 	}
 
+	if len(base.Async.Results) == 0 && len(cur.Async.Results) > 0 {
+		fmt.Printf("note: baseline %s has no async sweep (old format) — the async gate is skipped, not passed\n", path)
+	}
 	matchedA := make(map[asyncShape]bool)
 	for _, b := range base.Async.Results {
 		found := false
@@ -169,6 +175,9 @@ func runCompare(path string, quick bool, tolerance float64, backend string) erro
 		}
 	}
 
+	if len(base.Durable.Results) == 0 && len(cur.Durable.Results) > 0 {
+		fmt.Printf("note: baseline %s has no durable sweep (old format) — the durable gate is skipped, not passed\n", path)
+	}
 	matchedD := make(map[durableShape]bool)
 	for _, b := range base.Durable.Results {
 		found := false

@@ -178,8 +178,10 @@ var ErrNilFn = dispatch.ErrNilFn
 // Handle future or callback. Err carries the payload's returned error
 // (or context.DeadlineExceeded when Expired is set); Expired marks jobs
 // whose deadline passed before their round was assembled (the payload
-// never ran); Recovered marks jobs that resolved from a previous
-// incarnation's durable journal without re-running.
+// never ran); Cancelled marks jobs whose submission ctx died while they
+// were queued (likewise never started); Recovered marks jobs that
+// resolved from a previous incarnation's durable journal without
+// re-running.
 type JobResult = dispatch.JobResult
 
 // Task is the v2 job descriptor accepted by Do and DoBatch: a payload
@@ -261,8 +263,10 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 // sequence stays dense for deterministic re-submission. Once Do returns
 // nil, the Task will resolve exactly once — performed (Err carrying the
 // payload's error), Expired (deadline passed before its round was
-// assembled; the payload never ran), or Recovered (durable journal) —
-// regardless of ctx.
+// assembled; the payload never ran), Cancelled (ctx died while the Task
+// was still queued; resolved at the next round assembly, payload never
+// ran), or Recovered (durable journal). A Task whose round has already
+// been cut runs to completion regardless of ctx.
 func (d *Dispatcher) Do(ctx context.Context, t Task) (Handle, error) { return d.d.Do(ctx, t) }
 
 // DoBatch submits the Tasks in order, returning one Handle per Task
@@ -386,6 +390,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Pending:            st.Pending,
 		Recovered:          st.Recovered,
 		Expired:            st.Expired,
+		Cancelled:          st.Cancelled,
 		Rounds:             st.Rounds,
 		Residue:            st.Residue,
 		Duplicates:         st.Duplicates,
@@ -405,6 +410,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 			Performed:          sh.Performed,
 			Residue:            sh.Residue,
 			Expired:            sh.Expired,
+			Cancelled:          sh.Cancelled,
 			Duplicates:         sh.Duplicates,
 			Crashes:            sh.Crashes,
 			Steps:              sh.Steps,
@@ -429,9 +435,11 @@ type DispatcherStats struct {
 	// are queued or in flight. Recovered counts re-submitted jobs that
 	// resolved from a previous incarnation's durable journal without
 	// re-running; Expired counts jobs whose deadline passed before their
-	// round was assembled (the payload never ran). Both are included in
-	// Performed, so Submitted = Performed + Pending always holds.
-	Submitted, Performed, Pending, Recovered, Expired uint64
+	// round was assembled (the payload never ran); Cancelled counts jobs
+	// whose submission ctx was dead at round assembly (likewise never
+	// started). All three are included in Performed, so
+	// Submitted = Performed + Pending always holds.
+	Submitted, Performed, Pending, Recovered, Expired, Cancelled uint64
 	// Rounds is the number of executed rounds across all shards; Residue
 	// counts jobs that were carried from one round to a later one (each
 	// carry counts once). Duplicates is always 0 — it is reported so
@@ -466,7 +474,7 @@ type DispatcherStats struct {
 // DispatcherConfig.QueueDepth when that is set).
 type DispatcherShardStats struct {
 	Rounds, Performed, Residue, Duplicates, Crashes uint64
-	Expired                                         uint64
+	Expired, Cancelled                              uint64
 	Steps, Work                                     uint64
 	Stolen, SubmitBlockedNanos                      uint64
 	QueueDepth                                      int

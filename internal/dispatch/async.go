@@ -21,6 +21,13 @@ type JobResult struct {
 	// job is removed at round-assembly time, so at-most-once is
 	// untouched), and Err is context.DeadlineExceeded.
 	Expired bool
+	// Cancelled is true when the job's submission ctx (Do's ctx
+	// argument) was already cancelled when its shard assembled the next
+	// round: the payload never ran and never will — like deadline
+	// expiry, cancellation is decided at round-assembly time, so it can
+	// only turn "run once" into "run zero times" — and Err is the ctx's
+	// error (context.Canceled or context.DeadlineExceeded).
+	Cancelled bool
 	// Recovered is true when the job resolved from a previous
 	// incarnation's durable journal: a prior process performed it, so
 	// this incarnation completed the future without re-running the

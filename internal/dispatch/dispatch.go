@@ -578,6 +578,13 @@ func (d *Dispatcher) do(ctx context.Context, e entry, done func(JobResult)) (uin
 		d.waiters.add(id, done)
 	}
 	e.id = id
+	if ctx.Done() != nil {
+		// Cancellable submission: carry the ctx so round assembly can
+		// resolve the job without starting it once the ctx dies (the
+		// cancellation fast-path; see shard.takeBatch). Background and
+		// never-cancellable contexts skip the box — and the allocation.
+		e.cx = &entryCtx{ctx}
+	}
 	if d.latHist != nil && id&latSampleMask == 0 {
 		e.t0 = d.latStamp(time.Now().UnixNano())
 	}
@@ -966,6 +973,10 @@ type ShardStats struct {
 	// resolved with Expired set (included in the dispatcher's Performed
 	// total for conservation, like Recovered).
 	Expired uint64
+	// Cancelled counts jobs whose submission ctx was dead at round
+	// assembly: removed like Expired ones, payload never ran, resolved
+	// with Cancelled set and the ctx's error.
+	Cancelled uint64
 	// Stolen counts the jobs this shard claimed from sibling queues while
 	// idle (work-stealing); they were performed — and, when durable,
 	// journaled — by this shard under its own backend and lease.
@@ -1001,6 +1012,11 @@ type Stats struct {
 	// round-assembly time: the payload never ran. Like Recovered, they
 	// are included in Performed so Submitted = Performed + Pending.
 	Expired uint64
+	// Cancelled counts jobs that resolved by submission-ctx cancellation
+	// at round-assembly time (the cooperative cancellation fast-path):
+	// like Expired, the payload never ran and the job is included in
+	// Performed for conservation.
+	Cancelled uint64
 	// Rounds, Residue, Duplicates, Crashes, Steps and Work sum the
 	// per-shard counters.
 	Rounds     uint64
@@ -1046,6 +1062,7 @@ func (d *Dispatcher) Stats() Stats {
 	for i, s := range d.shards {
 		st.Shards[i] = s.snapshotStats()
 		st.Expired += st.Shards[i].Expired
+		st.Cancelled += st.Shards[i].Cancelled
 		st.Rounds += st.Shards[i].Rounds
 		st.Residue += st.Shards[i].Residue
 		st.Duplicates += st.Shards[i].Duplicates

@@ -109,6 +109,9 @@ func (d *Dispatcher) registerShardObs(s *shard) {
 	d.reg.CounterFunc("amo_dispatcher_expired_jobs_total",
 		"Jobs resolved by deadline expiry at round assembly (payload never ran).",
 		stat(func(st *ShardStats) uint64 { return st.Expired }), "shard", sid)
+	d.reg.CounterFunc("amo_dispatcher_cancelled_jobs_total",
+		"Jobs resolved by submission-ctx cancellation at round assembly (payload never ran).",
+		stat(func(st *ShardStats) uint64 { return st.Cancelled }), "shard", sid)
 	d.reg.CounterFunc("amo_dispatcher_crashes_total",
 		"Injected worker crashes (workers revive next round).",
 		stat(func(st *ShardStats) uint64 { return st.Crashes }), "shard", sid)
@@ -195,14 +198,18 @@ func (d *Dispatcher) LatencyQuantiles(qs ...float64) ([]time.Duration, bool) {
 	return out, true
 }
 
-// traceExpired records Expired events for a batch of deadline
-// casualties (resolved at round assembly, outside the shard lock).
+// traceExpired records Expired (or Cancelled) events for a batch of
+// round-assembly casualties (resolved outside the shard lock).
 func (s *shard) traceExpired(rs []JobResult) {
 	tr := s.d.tr
 	if tr == nil {
 		return
 	}
 	for _, r := range rs {
-		tr.Record(r.ID, obs.TraceExpired, s.id)
+		ev := obs.TraceExpired
+		if r.Cancelled {
+			ev = obs.TraceCancelled
+		}
+		tr.Record(r.ID, ev, s.id)
 	}
 }

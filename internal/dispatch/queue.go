@@ -24,13 +24,34 @@ type entry struct {
 	// dispatcher started, truncated to 32 bits; 0 = unsampled). It rides
 	// the entry through requeues and steals, so the recorded latency is
 	// wall time from submission to final resolution. A uint32 in the
-	// padding hole after pri keeps entry at 56 bytes — growing it to 64
-	// measurably slows the multi-shard round path (entries are copied
-	// through rings, batches and steals), which is exactly the overhead
-	// this layer promises not to add. Wrap-safe uint32 subtraction at
-	// resolution means only latencies beyond ~71 minutes alias.
+	// padding hole after pri keeps entry compact — entries are copied
+	// through rings, batches and steals, so every byte here is hot-path
+	// memory traffic. Wrap-safe uint32 subtraction at resolution means
+	// only latencies beyond ~71 minutes alias.
 	t0  uint32
 	err error
+	// cx boxes a cancellable submission's context behind ONE pointer
+	// (nil for Background and batch submissions — the common case, and
+	// every bench path — so those stay alloc-free). Boxing keeps entry
+	// at exactly 64 bytes, one cache line: embedding the two-word
+	// context interface directly would push it to 72 and split every
+	// entry copy across lines. Round assembly polls cx.ctx.Err() so a
+	// job whose ctx died in the queue resolves without starting
+	// (mirroring deadline expiry; see shard.takeBatch).
+	cx *entryCtx
+}
+
+// entryCtx is the one-pointer box for a cancellable submission's ctx
+// (see entry.cx).
+type entryCtx struct{ ctx context.Context }
+
+// cancelErr reports the entry's submission-ctx error, nil for
+// non-cancellable entries.
+func (e *entry) cancelErr() error {
+	if e.cx == nil {
+		return nil
+	}
+	return e.cx.ctx.Err()
 }
 
 // minRingCap is the smallest backing array the ring keeps once it has

@@ -604,9 +604,11 @@ func (s *shard) takeBatch() int {
 			s.dueBuf = s.q.extractDue(now+s.promoWindow(limit), s.dueBuf[:0])
 			overflow := 0
 			for _, e := range s.dueBuf {
-				switch {
+				switch cerr := e.cancelErr(); {
 				case e.dl <= now:
 					s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+				case cerr != nil:
+					s.expired = append(s.expired, JobResult{ID: e.id, Cancelled: true, Err: cerr})
 				case n < limit:
 					s.batch[n] = e
 					n++
@@ -627,11 +629,21 @@ func (s *shard) takeBatch() int {
 		for ri := 0; ri < numRings && n < limit; ri++ {
 			n = s.takeClass(ri, n, limit, now)
 		}
+		// s.expired holds this assembly's casualties — deadline expiries
+		// AND ctx cancellations; both resolve without starting, but are
+		// counted apart.
 		nExp := len(s.expired)
 		if nExp > 0 {
-			s.stats.Expired += uint64(nExp)
+			nCan := 0
+			for i := range s.expired {
+				if s.expired[i].Cancelled {
+					nCan++
+				}
+			}
+			s.stats.Expired += uint64(nExp - nCan)
+			s.stats.Cancelled += uint64(nCan)
 			if s.depth > 0 {
-				s.notFull.Broadcast() // expired jobs freed their queue slots
+				s.notFull.Broadcast() // expired/cancelled jobs freed their queue slots
 			}
 		}
 		// The popped jobs keep holding their queue slots (inflight) until
@@ -641,8 +653,8 @@ func (s *shard) takeBatch() int {
 		s.inflight = n
 		s.mu.Unlock()
 		if nExp > 0 {
-			// Each expired job resolves exactly once, outside the lock,
-			// and counts toward Flush like any other resolution.
+			// Each expired or cancelled job resolves exactly once, outside
+			// the lock, and counts toward Flush like any other resolution.
 			s.traceExpired(s.expired)
 			s.d.waiters.resolveResults(s.expired, &s.cbBuf)
 			s.jobsDone(nExp)
@@ -683,9 +695,11 @@ func (s *shard) takeClass(ri, n, limit int, now int64) int {
 		s.dueBuf = s.q.extractDeadlined(ri, s.dueBuf[:0])
 		overflow := 0
 		for _, e := range s.dueBuf {
-			switch {
+			switch cerr := e.cancelErr(); {
 			case e.dl <= now:
 				s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+			case cerr != nil:
+				s.expired = append(s.expired, JobResult{ID: e.id, Cancelled: true, Err: cerr})
 			case n < limit:
 				s.batch[n] = e
 				n++
@@ -705,6 +719,10 @@ func (s *shard) takeClass(ri, n, limit int, now int64) int {
 		e := s.q.popRing(ri)
 		if e.dl != 0 && e.dl <= now {
 			s.expired = append(s.expired, JobResult{ID: e.id, Expired: true, Err: context.DeadlineExceeded})
+			continue
+		}
+		if cerr := e.cancelErr(); cerr != nil {
+			s.expired = append(s.expired, JobResult{ID: e.id, Cancelled: true, Err: cerr})
 			continue
 		}
 		s.batch[n] = e

@@ -135,7 +135,13 @@ func handleDone(ch chan JobResult, cb func(JobResult)) func(JobResult) {
 // Close releases it with ErrClosed — in both cases without consuming a
 // job id, so id assignment stays dense for deterministic re-submission.
 // Once Do returns nil, the Task is accepted and will resolve exactly
-// once regardless of ctx.
+// once; a ctx that dies while the Task is still QUEUED resolves it with
+// Cancelled set and ctx's error at the shard's next round assembly —
+// the cooperative cancellation fast-path, mirroring deadline expiry:
+// decided before the job is started, so the payload never runs. A Task
+// whose round has already been cut runs to completion regardless of
+// ctx (at-most-once is untouched: cancellation only ever turns "run
+// once" into "run zero times").
 func (d *Dispatcher) Do(ctx context.Context, t Task) (Handle, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -1,0 +1,493 @@
+package jobd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Priority is a submission's scheduling class on the wire — the same
+// three classes as the dispatcher's (High jumps Normal jumps Low).
+type Priority int8
+
+const (
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+	PriorityLow    Priority = -1
+)
+
+// Status is a completion event's outcome.
+type Status byte
+
+const (
+	StatusOK        Status = Status(evOK)
+	StatusError     Status = Status(evError)
+	StatusExpired   Status = Status(evExpired)
+	StatusRecovered Status = Status(evRecovered)
+	StatusCancelled Status = Status(evCancelled)
+)
+
+func (s Status) String() string {
+	if int(s) < len(evNames) {
+		return evNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", byte(s))
+}
+
+// Event is one streamed job completion.
+type Event struct {
+	Tenant string
+	ID     uint64
+	Status Status
+	Task   string
+	Err    string // the payload's error text, for StatusError
+}
+
+// ErrConnLost fails in-flight operations when the connection drops.
+// Submits are NEVER resent across a redial: an unacked submit may or
+// may not have been admitted (and logged, and journaled) by the server,
+// and blindly resending it would re-admit the same work under a fresh
+// job id — a duplicate by construction, which is the one failure mode
+// this whole stack exists to rule out. Callers that need retry must
+// decide idempotence at the application level.
+var ErrConnLost = errors.New("jobd: connection lost")
+
+// ErrClientClosed fails operations on a Close()d client.
+var ErrClientClosed = errors.New("jobd: client closed")
+
+// ServerError is a jopErr reply: the server rejected the request.
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("jobd: server error %d: %s", e.Code, e.Msg) }
+
+// IsQuota reports whether err is a tenant-quota rejection.
+func IsQuota(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == codeQuota
+}
+
+// IsCapacity reports whether err is a server-capacity rejection.
+func IsCapacity(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == codeCapacity
+}
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	// Name identifies the client in the hello frame (logs only).
+	Name string
+	// Redial enables automatic reconnection: on a dropped connection the
+	// client fails every in-flight operation with ErrConnLost (see its
+	// doc for why nothing is resent), re-dials with exponential backoff,
+	// and re-establishes its subscriptions. Without it the first drop
+	// kills the client.
+	Redial bool
+	// RedialAttempts bounds consecutive failed dials (default 5).
+	RedialAttempts int
+	// RedialBackoff is the initial backoff, doubling per attempt
+	// (default 50ms).
+	RedialBackoff time.Duration
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+}
+
+// SubmitOptions carries a submission's scheduling contract.
+type SubmitOptions struct {
+	Priority Priority
+	Deadline time.Time // zero = none
+}
+
+type clientReply struct {
+	op      byte
+	payload []byte // copied out of the read buffer
+	err     error
+}
+
+type clientPending struct {
+	seq uint32
+	ch  chan clientReply
+}
+
+// Client is a pipelined jobd client, safe for concurrent use: each
+// blocking call (Submit, Subscribe, Stats, Ping) occupies one slot in
+// the in-order pending queue, so many goroutines sharing one Client
+// share one pipelined connection.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu        sync.Mutex
+	nc        net.Conn
+	w         *bufio.Writer
+	seq       uint32
+	pending   []*clientPending
+	subs      map[string]func(Event)
+	inc       string // server incarnation from the last hello
+	connected bool   // false between a drop and a successful redial
+	closed    bool
+	dead      error // terminal failure, nil while usable
+}
+
+// Dial connects, performs the hello handshake and starts the reader.
+func Dial(addr string, o ClientOptions) (*Client, error) {
+	if o.RedialAttempts == 0 {
+		o.RedialAttempts = 5
+	}
+	if o.RedialBackoff == 0 {
+		o.RedialBackoff = 50 * time.Millisecond
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	c := &Client{addr: addr, opts: o, subs: make(map[string]func(Event))}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	go c.reader()
+	return c, nil
+}
+
+// connect dials and runs the synchronous hello handshake; on success it
+// installs the connection. Caller must not hold mu.
+func (c *Client) connect() error {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(nc)
+	r := bufio.NewReader(nc)
+	p := appendU32(nil, protoVersion)
+	p = appendStr(p, c.opts.Name)
+	if err := writeFrame(w, jopHello, 1, p); err != nil {
+		nc.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		nc.Close()
+		return err
+	}
+	op, _, payload, _, err := readFrame(r, nil)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	if op != jopHelloOK {
+		nc.Close()
+		return fmt.Errorf("jobd: hello rejected (op %d)", op)
+	}
+	dec := decoder{b: payload}
+	dec.u32() // server's protocol version; equality is implied by jopHelloOK
+	inc := dec.str()
+	if err := dec.done(); err != nil {
+		nc.Close()
+		return err
+	}
+
+	// Re-establish subscriptions synchronously on the new connection —
+	// events must not race the acks, and the reader is not running yet.
+	c.mu.Lock()
+	tenants := make([]string, 0, len(c.subs))
+	for t := range c.subs {
+		tenants = append(tenants, t)
+	}
+	c.mu.Unlock()
+	seq := uint32(1)
+	for _, t := range tenants {
+		seq++
+		if err := writeFrame(w, jopSubscribe, seq, appendStr(nil, t)); err != nil {
+			nc.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		nc.Close()
+		return err
+	}
+	var buf []byte
+	for range tenants {
+		var op byte
+		op, _, _, buf, err = readFrame(r, buf)
+		// Events can already interleave here once the first subscribe
+		// lands; skip them — the reader will stream the rest.
+		for err == nil && op == jopEvent {
+			op, _, _, buf, err = readFrame(r, buf)
+		}
+		if err != nil {
+			nc.Close()
+			return err
+		}
+		if op != jopAck {
+			nc.Close()
+			return fmt.Errorf("jobd: resubscribe rejected (op %d)", op)
+		}
+	}
+
+	c.mu.Lock()
+	c.nc = nc
+	c.w = w
+	c.seq = seq
+	c.inc = inc
+	c.connected = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Incarnation returns the server process incarnation reported by the
+// most recent hello — changes across a server restart, which is how
+// tests and examples detect recovery.
+func (c *Client) Incarnation() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inc
+}
+
+// rpc sends one request and blocks for its in-order reply.
+func (c *Client) rpc(op byte, payload []byte) (clientReply, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return clientReply{}, ErrClientClosed
+	}
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return clientReply{}, err
+	}
+	if !c.connected {
+		// Between a drop and a successful redial: fail fast rather than
+		// enqueue an op nobody would ever resolve.
+		c.mu.Unlock()
+		return clientReply{}, ErrConnLost
+	}
+	c.seq++
+	pd := &clientPending{seq: c.seq, ch: make(chan clientReply, 1)}
+	c.pending = append(c.pending, pd)
+	err := writeFrame(c.w, op, pd.seq, payload)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil {
+		c.nc.Close() // reader observes the broken conn and fails pending
+	}
+	c.mu.Unlock()
+	r := <-pd.ch
+	if r.err != nil {
+		return clientReply{}, r.err
+	}
+	if r.op == jopErr {
+		dec := decoder{b: r.payload}
+		se := &ServerError{Code: dec.u16(), Msg: dec.str()}
+		if err := dec.done(); err != nil {
+			return clientReply{}, err
+		}
+		return clientReply{}, se
+	}
+	return r, nil
+}
+
+// Submit submits one job and blocks for its admission decision: the
+// assigned job id, or the server's rejection (see IsQuota/IsCapacity).
+// Admission is not completion — subscribe to the tenant for that.
+func (c *Client) Submit(tenant, task string, version uint32, payload []byte, o SubmitOptions) (uint64, error) {
+	p := make([]byte, 0, 32+len(tenant)+len(task)+len(payload))
+	p = appendStr(p, tenant)
+	p = appendStr(p, task)
+	p = appendU32(p, version)
+	p = append(p, byte(o.Priority))
+	var dl int64
+	if !o.Deadline.IsZero() {
+		dl = o.Deadline.UnixNano()
+	}
+	p = appendI64(p, dl)
+	p = appendBytes(p, payload)
+	r, err := c.rpc(jopSubmit, p)
+	if err != nil {
+		return 0, err
+	}
+	if r.op != jopSubmitOK {
+		return 0, fmt.Errorf("jobd: unexpected submit reply op %d", r.op)
+	}
+	dec := decoder{b: r.payload}
+	id := dec.u64()
+	if err := dec.done(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Subscribe streams the tenant's completion events to fn, which runs on
+// the client's reader goroutine — keep it fast, or completions (and
+// replies) back up behind it. The subscription survives redials.
+func (c *Client) Subscribe(tenant string, fn func(Event)) error {
+	if fn == nil {
+		return errors.New("jobd: Subscribe with nil handler")
+	}
+	c.mu.Lock()
+	c.subs[tenant] = fn
+	c.mu.Unlock()
+	_, err := c.rpc(jopSubscribe, appendStr(nil, tenant))
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, tenant)
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Unsubscribe stops the tenant's event stream.
+func (c *Client) Unsubscribe(tenant string) error {
+	c.mu.Lock()
+	delete(c.subs, tenant)
+	c.mu.Unlock()
+	_, err := c.rpc(jopUnsubscribe, appendStr(nil, tenant))
+	return err
+}
+
+// Stats fetches the server's stats document.
+func (c *Client) Stats() (ServerStats, error) {
+	r, err := c.rpc(jopStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	var st ServerStats
+	if err := json.Unmarshal(r.payload, &st); err != nil {
+		return ServerStats{}, fmt.Errorf("jobd: stats decode: %w", err)
+	}
+	return st, nil
+}
+
+// Ping round-trips the connection.
+func (c *Client) Ping() error {
+	_, err := c.rpc(jopPing, nil)
+	return err
+}
+
+// Close hangs up and fails any in-flight operations.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nc := c.nc
+	c.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	return nil
+}
+
+// failPending marks the connection down and resolves every in-flight
+// op with err. Marking down and clearing pending under one lock hold is
+// what prevents a racing rpc from enqueueing an op nobody will resolve.
+func (c *Client) failPending(err error) {
+	c.mu.Lock()
+	c.connected = false
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, p := range pend {
+		p.ch <- clientReply{err: err}
+	}
+}
+
+// reader drains the connection: events to their handlers, replies to
+// their in-order waiters. On a connection drop it fails in-flight ops
+// and, when Redial is set, reconnects and carries on.
+func (c *Client) reader() {
+	for {
+		err := c.readConn()
+		c.failPending(fmt.Errorf("%w: %w", ErrConnLost, err))
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if !c.opts.Redial {
+			c.markDead(err)
+			return
+		}
+		backoff := c.opts.RedialBackoff
+		redialed := false
+		for i := 0; i < c.opts.RedialAttempts; i++ {
+			time.Sleep(backoff)
+			backoff *= 2
+			c.mu.Lock()
+			closed = c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			if cerr := c.connect(); cerr == nil {
+				redialed = true
+				break
+			}
+		}
+		if !redialed {
+			c.markDead(fmt.Errorf("jobd: redial budget exhausted after: %w", err))
+			return
+		}
+	}
+}
+
+func (c *Client) markDead(err error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = fmt.Errorf("%w: %w", ErrConnLost, err)
+	}
+	c.mu.Unlock()
+}
+
+// readConn pumps one connection until it breaks, returning the error.
+func (c *Client) readConn() error {
+	c.mu.Lock()
+	nc := c.nc
+	c.mu.Unlock()
+	r := bufio.NewReader(nc)
+	var buf []byte
+	for {
+		op, seq, payload, nbuf, err := readFrame(r, buf)
+		if err != nil {
+			return err
+		}
+		buf = nbuf
+		if op == jopEvent {
+			dec := decoder{b: payload}
+			ev := Event{Tenant: dec.str(), ID: dec.u64(), Status: Status(dec.u8()), Task: dec.str(), Err: dec.str()}
+			if err := dec.done(); err != nil {
+				return err
+			}
+			c.mu.Lock()
+			fn := c.subs[ev.Tenant]
+			c.mu.Unlock()
+			if fn != nil {
+				fn(ev)
+			}
+			continue
+		}
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("jobd: unsolicited reply op %d seq %d", op, seq)
+		}
+		pd := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		if pd.seq != seq {
+			pd.ch <- clientReply{err: fmt.Errorf("jobd: reply seq %d, want %d (pipeline desync)", seq, pd.seq)}
+			return fmt.Errorf("jobd: pipeline desync")
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		pd.ch <- clientReply{op: op, payload: cp}
+	}
+}

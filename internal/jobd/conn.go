@@ -1,0 +1,253 @@
+package jobd
+
+import (
+	"bufio"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"atmostonce/internal/dispatch"
+	"atmostonce/internal/obs"
+	"atmostonce/internal/obs/eventlog"
+)
+
+// conn is one server-side client connection: a reader goroutine that
+// parses frames and routes typed requests into the core loop, and a
+// writer goroutine that drains the outbound frame queue. Neither
+// goroutine touches server state — the voxelcraft boundary.
+//
+// The outbound queue is bounded. A reply that would overflow it means
+// the client pipelined thousands of requests and stopped reading — the
+// connection is cut (losing a reply breaks the in-order pipelining
+// contract, so the stream is unrecoverable anyway). An EVENT that would
+// overflow it is dropped and counted: completion streaming is
+// best-effort per subscriber, and a slow subscriber must not be able to
+// wedge the core loop or other tenants.
+const connOutDepth = 4096
+
+type conn struct {
+	s    *Server
+	nc   net.Conn
+	out  chan []byte
+	done chan struct{}
+	once sync.Once
+	bye  atomic.Bool // reader → writer: flush, then hang up
+
+	// tenants is this connection's subscription set. Core-loop-owned:
+	// only subscribe/unsubscribe/connGone handling reads or writes it.
+	tenants map[string]struct{}
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		s:       s,
+		nc:      nc,
+		out:     make(chan []byte, connOutDepth),
+		done:    make(chan struct{}),
+		tenants: make(map[string]struct{}),
+	}
+}
+
+// close hangs up. Idempotent; safe from any goroutine.
+func (c *conn) close() {
+	c.once.Do(func() {
+		close(c.done)
+		c.nc.Close()
+	})
+}
+
+// encodeFrame renders a complete frame (header included) into one
+// buffer, so the writer goroutine is a pure byte pump and a fanned-out
+// event can share a single buffer across subscribers (writers only
+// read it).
+func encodeFrame(op byte, seq uint32, payload []byte) []byte {
+	f := make([]byte, 0, 4+frameOverhead+len(payload))
+	f = appendU32(f, uint32(frameOverhead+len(payload)))
+	f = append(f, op)
+	f = appendU32(f, seq)
+	return append(f, payload...)
+}
+
+// sendReply queues a reply frame. Overflow cuts the connection (see the
+// connOutDepth comment).
+func (c *conn) sendReply(op byte, seq uint32, payload []byte) {
+	f := encodeFrame(op, seq, payload)
+	select {
+	case c.out <- f:
+	default:
+		eventlog.Logger().Warn("jobd_conn_reply_overflow", "remote", c.nc.RemoteAddr().String())
+		c.close()
+	}
+}
+
+// sendErr queues a jopErr reply.
+func (c *conn) sendErr(seq uint32, code uint16, msg string) {
+	p := make([]byte, 0, 2+2+len(msg))
+	p = appendU16(p, code)
+	p = appendStr(p, msg)
+	c.sendReply(jopErr, seq, p)
+}
+
+// sendEvent queues an unsolicited event frame; reports false on
+// overflow (the caller counts the drop).
+func (c *conn) sendEvent(f []byte) bool {
+	select {
+	case c.out <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// writeLoop drains the outbound queue, batching flushes: it writes
+// frames while more are immediately available and flushes only when
+// the queue goes empty.
+func (c *conn) writeLoop() {
+	defer c.s.connWG.Done()
+	defer c.close()
+	w := bufio.NewWriter(c.nc)
+	for {
+		var f []byte
+		select {
+		case f = <-c.out:
+		case <-c.done:
+			return
+		}
+		for f != nil {
+			if _, err := w.Write(f); err != nil {
+				return
+			}
+			jdBytesOut.Add(uint64(len(f)))
+			select {
+			case f = <-c.out:
+				continue
+			default:
+				f = nil
+				continue
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if c.bye.Load() && len(c.out) == 0 {
+			// The reader said goodbye (fatal protocol error): everything
+			// queued before the flag is flushed, so hang up from the
+			// writing side — closing from the reader would race the
+			// error frame onto a dead socket.
+			c.close()
+			return
+		}
+	}
+}
+
+// sayBye asks the writer to flush what is queued and hang up. Called by
+// the reader on fatal protocol errors, AFTER queueing the error reply.
+func (c *conn) sayBye() {
+	c.bye.Store(true)
+	// Nudge the writer (a nil frame writes nothing) in case the queue is
+	// already drained and it is parked in its select.
+	select {
+	case c.out <- nil:
+	default:
+		c.close()
+	}
+}
+
+// readLoop parses frames and routes them. The first frame must be a
+// hello with a matching protocol version; everything after flows
+// through the core loop so per-connection reply order equals request
+// order.
+func (c *conn) readLoop() {
+	defer c.s.connWG.Done()
+	defer func() {
+		c.s.forget(c)
+		if eventlog.SinkEnabled(slog.LevelDebug) {
+			eventlog.Logger().Debug("jobd_conn_close", "remote", c.nc.RemoteAddr().String())
+		}
+	}()
+	// fatal queues an error reply and hands the hangup to the writer so
+	// the reply actually reaches the wire before the socket dies.
+	fatal := func(seq uint32, code uint16, msg string) {
+		c.sendErr(seq, code, msg)
+		c.sayBye()
+	}
+	r := bufio.NewReader(c.nc)
+	var buf []byte
+	helloed := false
+	for {
+		op, seq, payload, nbuf, err := readFrame(r, buf)
+		if err != nil {
+			c.close() // transport-level: nothing left to flush to
+			return
+		}
+		buf = nbuf
+		obsReq(op, len(payload))
+		if !helloed {
+			if op != jopHello {
+				fatal(seq, codeProto, "first frame must be hello")
+				return
+			}
+			dec := decoder{b: payload}
+			proto := dec.u32()
+			dec.str() // client name: accepted for logs, unused otherwise
+			if err := dec.done(); err != nil {
+				fatal(seq, codeProto, err.Error())
+				return
+			}
+			if proto != protoVersion {
+				fatal(seq, codeProto, "protocol version mismatch")
+				return
+			}
+			p := appendU32(nil, protoVersion)
+			p = appendStr(p, obs.IncarnationString())
+			c.sendReply(jopHelloOK, seq, p)
+			helloed = true
+			continue
+		}
+		req := coreReq{op: op, c: c, seq: seq}
+		switch op {
+		case jopSubmit:
+			dec := decoder{b: payload}
+			req.d = desc{
+				tenant:  dec.str(),
+				task:    dec.str(),
+				version: dec.u32(),
+				pri:     int8(dec.u8()),
+			}
+			req.d.deadline = dec.i64()
+			req.d.payload = dec.bytes()
+			if err := dec.done(); err != nil {
+				fatal(seq, codeProto, err.Error())
+				return
+			}
+			if p := dispatch.Priority(req.d.pri); !(p == dispatch.Normal || p == dispatch.High || p == dispatch.Low) {
+				fatal(seq, codeProto, "unknown priority")
+				return
+			}
+		case jopSubscribe, jopUnsubscribe:
+			dec := decoder{b: payload}
+			req.tenant = dec.str()
+			if err := dec.done(); err != nil {
+				fatal(seq, codeProto, err.Error())
+				return
+			}
+		case jopStats, jopPing:
+			if len(payload) != 0 {
+				fatal(seq, codeProto, "unexpected payload")
+				return
+			}
+		case jopHello:
+			fatal(seq, codeProto, "duplicate hello")
+			return
+		default:
+			fatal(seq, codeProto, "unknown op")
+			return
+		}
+		select {
+		case c.s.reqs <- req:
+		case <-c.done:
+			return
+		}
+	}
+}

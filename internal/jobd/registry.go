@@ -1,0 +1,81 @@
+package jobd
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TaskFunc is a registered task type's payload: invoked at most once
+// per admitted job, on a dispatcher worker goroutine, with the
+// submission's opaque payload bytes. The context carries the job's
+// deadline when one was set. The returned error travels back to the
+// submitter (and subscribers) in the completion event; it does not
+// affect at-most-once accounting — the job counts performed either way.
+type TaskFunc func(ctx context.Context, payload []byte) error
+
+// taskKey identifies a task type: descriptors carry both fields, so a
+// server can hold several versions of one task name simultaneously and
+// replay descriptors written by an older binary against the exact
+// implementation they were submitted for.
+type taskKey struct {
+	name    string
+	version uint32
+}
+
+func (k taskKey) String() string { return fmt.Sprintf("%s@v%d", k.name, k.version) }
+
+// Registry is the set of task types a Server knows how to run. A
+// submission naming a (name, version) pair not present in the server's
+// registry is rejected at admission — before any id is consumed or
+// descriptor logged. Registration after the server has started is
+// allowed (the registry is safe for concurrent use), but a descriptor
+// REPLAYED at open time against a since-unregistered task resolves as
+// performed-with-error rather than re-executing (see server.go replay).
+type Registry struct {
+	mu sync.RWMutex
+	m  map[taskKey]TaskFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[taskKey]TaskFunc)} }
+
+// Register adds (or replaces) the implementation of name at version.
+// It panics on a nil fn, an empty name, or a name longer than the wire
+// format can carry — registration errors are programmer errors, caught
+// at process start.
+func (r *Registry) Register(name string, version uint32, fn TaskFunc) {
+	if fn == nil {
+		panic("jobd: Register with nil TaskFunc")
+	}
+	if name == "" || len(name) > 255 {
+		panic(fmt.Sprintf("jobd: task name %q must be 1..255 bytes", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[taskKey]TaskFunc)
+	}
+	r.m[taskKey{name, version}] = fn
+}
+
+// lookup returns the implementation of (name, version), or nil.
+func (r *Registry) lookup(name string, version uint32) TaskFunc {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[taskKey{name, version}]
+}
+
+// Tasks returns the registered task keys as "name@vN" strings, sorted —
+// for statsz and logs.
+func (r *Registry) Tasks() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,270 @@
+// Package jobd is the multi-tenant networked job service over the
+// at-most-once engine: clients submit NAMED, REGISTERED task types over
+// a compact length-prefixed binary TCP protocol, and the server runs
+// them through a dispatch.Dispatcher with the full at-most-once,
+// durability and observability stack underneath.
+//
+// The package has four parts:
+//
+//   - Registry: name+version → func(ctx, payload) — the task types a
+//     server instance knows how to run. A submission names a task; the
+//     payload bytes travel through the wire, the descriptor log and the
+//     worker unchanged. Because descriptors are serializable, durable
+//     recovery can RE-RUN work after a process death, not merely skip
+//     what already ran.
+//   - Server: accepts connections, enforces per-tenant admission quotas,
+//     appends an admitted submission's descriptor to a durable
+//     descriptor log, submits it to the dispatcher, and streams
+//     completion events to subscribed clients. The architecture is the
+//     voxelcraft discipline (ROADMAP item 2): network goroutines only
+//     enqueue and dequeue; ONE authoritative core loop owns every piece
+//     of mutable jobd state (tenant table, descriptor log, subscriber
+//     registry) and is the dispatcher's only submitter — which makes
+//     the submission order, and therefore the job-id sequence, a
+//     deterministic function of the descriptor log. That determinism is
+//     what turns the log into a recovery mechanism: replaying it
+//     re-submits the identical stream, the dispatcher's journal dedupes
+//     everything a previous incarnation performed, and the remainder
+//     re-executes exactly once (see desclog.go).
+//   - Client: a pipelined client with auto-redial. In-flight submits
+//     FAIL on a connection drop instead of being resent: an unacked
+//     submit may or may not have been admitted, and blind resend would
+//     re-admit it under a fresh id — the one thing an at-most-once
+//     front door must never do. Completion subscriptions survive the
+//     redial.
+//   - Load: the load-generator harness behind `amo-jobd -load` and the
+//     many-connection soak.
+//
+// See DESIGN.md §15 for the wire format, the tenant/quota model and the
+// descriptor-journaling crash-window analysis.
+package jobd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format. Identical framing discipline to internal/netmem (§8):
+// every message, both directions, is one frame —
+//
+//	uint32  length of the rest of the frame (op + seq + payload)
+//	uint8   op code
+//	uint32  seq — client-chosen; the server echoes it in the reply
+//	...     op-specific payload
+//
+// All integers are little-endian; strings are uint16 length + bytes.
+// The server replies to every request IN REQUEST ORDER on the same
+// connection (every request is routed through the core loop, which
+// processes serially), which is what makes client-side pipelining
+// sound. Completion events are unsolicited server→client frames with
+// seq 0, interleaved between replies; clients dispatch on the op code.
+const (
+	// Client → server.
+	jopHello       byte = 1 // proto u32, client string           → jopHelloOK
+	jopSubmit      byte = 2 // tenant str, task str, ver u32, pri i8, deadline i64 (unix ns, 0 = none), payload u32+bytes → jopSubmitOK
+	jopSubscribe   byte = 3 // tenant str                         → jopAck; events flow until unsubscribe or close
+	jopUnsubscribe byte = 4 // tenant str                         → jopAck
+	jopStats       byte = 5 // (empty)                            → jopStatsOK
+	jopPing        byte = 6 // (empty)                            → jopAck
+
+	// Server → client.
+	jopAck      byte = 16 // (empty)
+	jopHelloOK  byte = 17 // proto u32, incarnation str (the server process's obs incarnation, for cross-process stitching)
+	jopSubmitOK byte = 18 // id u64 — the job's dispatcher-wide id
+	jopStatsOK  byte = 19 // JSON document (rest of frame)
+	jopEvent    byte = 20 // seq 0: tenant str, id u64, status u8, task str, errmsg str
+	jopErr      byte = 31 // code u16, msg string
+)
+
+// protoVersion is the wire protocol revision carried in hello frames; a
+// server rejects hellos from a different revision so incompatibilities
+// fail loudly at connect time instead of as frame soup later.
+const protoVersion uint32 = 1
+
+// Completion-event statuses (jopEvent status byte). They mirror the
+// dispatcher's JobResult: exactly one event is emitted per admitted job
+// — completion resolution is exactly-once because it is driven by the
+// completion table's exactly-once callbacks.
+const (
+	evOK        byte = 0 // payload ran, returned nil
+	evError     byte = 1 // payload ran, returned an error (errmsg carries it)
+	evExpired   byte = 2 // deadline passed before the round was assembled; never ran
+	evRecovered byte = 3 // deduped against a previous incarnation's journal; did not run again
+	evCancelled byte = 4 // submission ctx dead at round assembly; never ran
+)
+
+// Error codes carried by jopErr frames.
+const (
+	codeProto       uint16 = 1 // malformed frame, bad op sequence, or protocol-version mismatch
+	codeUnknownTask uint16 = 2 // task name+version not in the server's registry
+	codeQuota       uint16 = 3 // tenant at MaxPending, or High quota exhausted
+	codeCapacity    uint16 = 4 // server at MaxJobs or descriptor log full
+	codeClosed      uint16 = 5 // server shutting down
+	codeTenant      uint16 = 6 // unknown tenant (no configured limits, no default)
+	codeTooBig      uint16 = 7 // payload exceeds MaxPayload
+)
+
+const (
+	// maxFrame bounds a frame's self-declared length; anything larger is
+	// treated as stream corruption, not an allocation request.
+	maxFrame = 1 << 21
+	// frameOverhead is op + seq.
+	frameOverhead = 5
+)
+
+// writeFrame appends one frame to w. The caller flushes.
+func writeFrame(w *bufio.Writer, op byte, seq uint32, payload []byte) error {
+	var hdr [4 + frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(frameOverhead+len(payload)))
+	hdr[4] = op
+	binary.LittleEndian.PutUint32(hdr[5:], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// frameBytes is the on-wire size of a frame with the given payload.
+func frameBytes(payloadLen int) uint64 { return uint64(4 + frameOverhead + payloadLen) }
+
+// readFrame reads one frame, reusing buf when it is big enough. It
+// returns the (possibly grown) buffer for the next call; payload
+// aliases it, so anything retained past the next read must be copied.
+func readFrame(r *bufio.Reader, buf []byte) (op byte, seq uint32, payload, bufOut []byte, err error) {
+	bufOut = buf
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < frameOverhead || n > maxFrame {
+		err = fmt.Errorf("jobd: corrupt frame length %d", n)
+		return
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+		bufOut = buf
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return
+	}
+	op = buf[0]
+	seq = binary.LittleEndian.Uint32(buf[1:5])
+	payload = buf[frameOverhead:]
+	return
+}
+
+// Payload append helpers.
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// decoder is a cursor over a frame payload. The first malformed read
+// poisons it; done() reports that error, or complains about trailing
+// bytes — a frame must be consumed exactly.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("jobd: truncated frame payload")
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// bytes reads a u32-prefixed byte string, COPYING it out of the frame
+// buffer (payloads outlive the frame: they ride descriptors and worker
+// invocations).
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.b[:n])
+	d.b = d.b[n:]
+	return p
+}
+
+// done returns the accumulated decode error, or a protocol error when
+// payload bytes are left over.
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("jobd: %d trailing bytes in frame payload", len(d.b))
+	}
+	return nil
+}

@@ -127,8 +127,8 @@ func StitchTimelines(docs ...TracezDoc) []TracezJob {
 //
 //   - "started" appears at most once ACROSS incarnations — the paper's
 //     guarantee itself, and a pure count, immune to clock skew;
-//   - within one incarnation, "resolved" and "expired" are terminal and
-//     appear at most once (a successor may legitimately resolve a job
+//   - within one incarnation, "resolved", "expired" and "cancelled" are
+//     terminal and appear at most once (a successor may legitimately resolve a job
 //     its predecessor also resolved — each life re-runs the deterministic
 //     stream — so the per-incarnation scope is the correct one);
 //   - an incarnation that records "recovered" for the job never records
@@ -172,7 +172,7 @@ func CheckStitched(j TracezJob) error {
 			if st.started {
 				return fmt.Errorf("job %d: recovered in incarnation %s after it started the job", j.ID, e.Inc)
 			}
-		case "resolved", "expired":
+		case "resolved", "expired", "cancelled":
 			st.terminal = true
 		case "journaled":
 			if e.Shard >= 0 && !st.started {

@@ -12,10 +12,11 @@ import (
 // Journaled between Started and Resolved on durable dispatchers
 // (record-then-do), Requeued marking residue carry-over between Queued
 // and the next Started, Expired replacing Started..Resolved for
-// deadline casualties, and Recovered jobs resolving straight from
-// Submitted (the payload never runs twice across incarnations). Started
-// appears at most once per id — that ordering IS the paper's guarantee,
-// and the trace tests assert it.
+// deadline casualties (Cancelled likewise for jobs whose submission ctx
+// was dead at round assembly), and Recovered jobs resolving straight
+// from Submitted (the payload never runs twice across incarnations).
+// Started appears at most once per id — that ordering IS the paper's
+// guarantee, and the trace tests assert it.
 type TraceEvent uint8
 
 const (
@@ -28,6 +29,7 @@ const (
 	TraceResolved
 	TraceExpired
 	TraceRecovered
+	TraceCancelled
 )
 
 var traceNames = [...]string{
@@ -40,6 +42,7 @@ var traceNames = [...]string{
 	TraceResolved:  "resolved",
 	TraceExpired:   "expired",
 	TraceRecovered: "recovered",
+	TraceCancelled: "cancelled",
 }
 
 func (e TraceEvent) String() string {
